@@ -1,0 +1,303 @@
+// Package agilla is a Go reproduction of Agilla, the mobile-agent
+// middleware for wireless sensor networks from "Rapid Development and
+// Flexible Deployment of Adaptive Wireless Sensor Network Applications"
+// (Fok, Roman, Lu — ICDCS 2005 / WUCSE-2004-59).
+//
+// An Agilla network is deployed with no pre-installed application. Users
+// inject mobile agents — tiny stack-machine programs written in a
+// high-level assembly — that migrate and clone across nodes, coordinating
+// through per-node Linda-like tuple spaces with reactions.
+//
+// The original runs on MICA2 motes under TinyOS; this package runs the
+// complete middleware on a deterministic discrete-event mote simulator
+// with a calibrated CC1000 radio model, so protocol behavior (hop-by-hop
+// migration with acknowledgments, remote tuple space operations, neighbor
+// discovery, greedy geographic routing) is reproduced faithfully at
+// laptop scale.
+//
+// Quick start:
+//
+//	nw, err := agilla.NewNetwork(agilla.Options{Width: 5, Height: 5})
+//	if err != nil { ... }
+//	if err := nw.WarmUp(); err != nil { ... }
+//	id, err := nw.Inject(`
+//		pushc 7
+//		putled
+//		halt
+//	`, agilla.Loc(3, 3))
+//	_ = nw.Run(5 * time.Second)
+package agilla
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/agilla-go/agilla/internal/asm"
+	"github.com/agilla-go/agilla/internal/core"
+	"github.com/agilla-go/agilla/internal/firesim"
+	"github.com/agilla-go/agilla/internal/radio"
+	"github.com/agilla-go/agilla/internal/sensor"
+	"github.com/agilla-go/agilla/internal/topology"
+	"github.com/agilla-go/agilla/internal/tuplespace"
+	"github.com/agilla-go/agilla/internal/wire"
+)
+
+// Location is a node address: Agilla addresses nodes by physical location
+// (§2.2 of the paper).
+type Location = topology.Location
+
+// Loc constructs a Location.
+func Loc(x, y int16) Location { return topology.Loc(x, y) }
+
+// Value is one typed datum: a tuple field or a VM stack slot.
+type Value = tuplespace.Value
+
+// Tuple is an ordered set of typed fields.
+type Tuple = tuplespace.Tuple
+
+// Template matches tuples by per-field equality with type wildcards.
+type Template = tuplespace.Template
+
+// SensorType identifies a sensor on the mote's board.
+type SensorType = tuplespace.SensorType
+
+// Sensor types carried by the default simulated board.
+const (
+	SensorTemperature = tuplespace.SensorTemperature
+	SensorPhoto       = tuplespace.SensorPhoto
+	SensorSound       = tuplespace.SensorSound
+	SensorSmoke       = tuplespace.SensorSmoke
+)
+
+// Field drives what sensors read over space and time.
+type Field = sensor.Field
+
+// Fire is the wildfire environment of the paper's case study (§5). Use
+// NewFire, ignite it, and pass it as Options.Field.
+type Fire = firesim.Fire
+
+// Node is one simulated mote running the middleware.
+type Node = core.Node
+
+// Trace observes middleware events across the network.
+type Trace = core.Trace
+
+// AgentState reports where an agent is in its life cycle.
+type AgentState = core.AgentState
+
+// Re-exported tuple field constructors.
+var (
+	// Int constructs an integer field.
+	Int = tuplespace.Int
+	// Str constructs a short string field (at most 3 characters).
+	Str = tuplespace.Str
+	// LocV constructs a location field.
+	LocV = tuplespace.LocV
+	// Reading constructs a sensor-reading field.
+	Reading = tuplespace.Reading
+	// TypeV constructs a type-wildcard field for templates.
+	TypeV = tuplespace.TypeV
+	// AgentIDV constructs an agent-id field.
+	AgentIDV = tuplespace.AgentIDV
+	// T builds a tuple from fields.
+	T = tuplespace.T
+	// Tmpl builds a template from fields.
+	Tmpl = tuplespace.Tmpl
+	// TypeOfSensor returns the wildcard matching readings of a sensor.
+	TypeOfSensor = tuplespace.TypeOfSensor
+)
+
+// NewFire creates a fire environment spreading one cell every spreadEvery,
+// clipped to the w×h deployment grid.
+func NewFire(spreadEvery time.Duration, w, h int) *Fire {
+	b := firesim.GridBounds(w, h)
+	return firesim.New(spreadEvery, &b)
+}
+
+// Assemble compiles Agilla assembly (the dialect of Figures 2, 8, and 13)
+// to agent bytecode.
+func Assemble(src string) ([]byte, error) { return asm.Assemble(src) }
+
+// MustAssemble is Assemble, panicking on error; for hard-coded programs.
+func MustAssemble(src string) []byte { return asm.MustAssemble(src) }
+
+// Disassemble renders agent bytecode as assembly text.
+func Disassemble(code []byte) (string, error) { return asm.Disassemble(code) }
+
+// Options configures a simulated deployment. The zero value builds the
+// paper's testbed: a 5×5 MICA2 grid with the calibrated lossy CC1000
+// model, a base station at (0,0) bridged to the gateway mote (1,1), and
+// per-node budgets from §3.2 (4 agents, 440 B instruction memory, 600 B
+// tuple space, 400 B reaction registry).
+type Options struct {
+	// Width and Height size the mote grid (default 5×5).
+	Width, Height int
+	// Seed drives all randomness; runs are reproducible per seed.
+	Seed int64
+	// Reliable selects a zero-loss radio (default: the calibrated lossy
+	// model that regenerates the paper's Figures 9-11).
+	Reliable bool
+	// Field drives sensor readings (default: everything reads 0).
+	Field Field
+	// NodeConfig overrides per-mote middleware budgets and protocol
+	// timers; nil selects the paper's defaults.
+	NodeConfig *core.Config
+}
+
+// Network is a running Agilla deployment.
+type Network struct {
+	d    *core.Deployment
+	w, h int
+}
+
+// NewNetwork builds a deployment per the options.
+func NewNetwork(opts Options) (*Network, error) {
+	if opts.Width <= 0 {
+		opts.Width = 5
+	}
+	if opts.Height <= 0 {
+		opts.Height = 5
+	}
+	cfg := core.DeploymentConfig{
+		Width:  opts.Width,
+		Height: opts.Height,
+		Seed:   opts.Seed,
+		Field:  opts.Field,
+	}
+	if opts.Reliable {
+		p := radio.ZeroLoss()
+		cfg.Radio = &p
+	}
+	if opts.NodeConfig != nil {
+		cfg.Node = *opts.NodeConfig
+	}
+	d, err := core.NewGridDeployment(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("agilla: %w", err)
+	}
+	return &Network{d: d, w: opts.Width, h: opts.Height}, nil
+}
+
+// Deployment exposes the underlying deployment for advanced use (the
+// benchmark harness drives it directly).
+func (nw *Network) Deployment() *core.Deployment { return nw.d }
+
+// Trace returns the network-wide event trace; set its fields to observe
+// arrivals, deaths, migrations, and tuple activity.
+func (nw *Network) Trace() *Trace { return nw.d.Trace }
+
+// Size returns the mote grid dimensions.
+func (nw *Network) Size() (w, h int) { return nw.w, nw.h }
+
+// Now returns the current virtual time.
+func (nw *Network) Now() time.Duration { return nw.d.Sim.Now() }
+
+// WarmUp starts beaconing and runs until neighbor discovery settles.
+// Call once before injecting agents.
+func (nw *Network) WarmUp() error { return nw.d.WarmUp() }
+
+// Run advances virtual time by d.
+func (nw *Network) Run(d time.Duration) error {
+	return nw.d.Sim.Run(nw.d.Sim.Now() + d)
+}
+
+// RunUntil advances virtual time until pred is true or limit elapses,
+// reporting whether pred became true.
+func (nw *Network) RunUntil(pred func() bool, limit time.Duration) (bool, error) {
+	return nw.d.Sim.RunUntil(pred, nw.d.Sim.Now()+limit)
+}
+
+// Inject assembles src and injects the agent from the base station to
+// dest, returning the agent ID.
+func (nw *Network) Inject(src string, dest Location) (uint16, error) {
+	code, err := asm.Assemble(src)
+	if err != nil {
+		return 0, err
+	}
+	return nw.InjectCode(code, dest)
+}
+
+// InjectCode injects pre-assembled bytecode from the base station to dest.
+func (nw *Network) InjectCode(code []byte, dest Location) (uint16, error) {
+	if nw.d.Node(dest) == nil {
+		return 0, fmt.Errorf("agilla: no node at %v", dest)
+	}
+	return nw.d.Base.InjectAgent(code, dest)
+}
+
+// Node returns the mote at loc, or nil. The base station is at (0,0).
+func (nw *Network) Node(loc Location) *Node { return nw.d.Node(loc) }
+
+// Base returns the base station node.
+func (nw *Network) Base() *Node { return nw.d.Base }
+
+// Out inserts a tuple directly into the tuple space at loc (a test and
+// tooling convenience; agents use the out instruction).
+func (nw *Network) Out(loc Location, t Tuple) error {
+	n := nw.d.Node(loc)
+	if n == nil {
+		return fmt.Errorf("agilla: no node at %v", loc)
+	}
+	return n.Space().Out(t)
+}
+
+// Read copies the first tuple at loc matching the template.
+func (nw *Network) Read(loc Location, p Template) (Tuple, bool) {
+	n := nw.d.Node(loc)
+	if n == nil {
+		return Tuple{}, false
+	}
+	return n.Space().Rdp(p)
+}
+
+// Take removes and returns the first tuple at loc matching the template.
+func (nw *Network) Take(loc Location, p Template) (Tuple, bool) {
+	n := nw.d.Node(loc)
+	if n == nil {
+		return Tuple{}, false
+	}
+	return n.Space().Inp(p)
+}
+
+// Count returns how many tuples at loc match the template.
+func (nw *Network) Count(loc Location, p Template) int {
+	n := nw.d.Node(loc)
+	if n == nil {
+		return 0
+	}
+	return n.Space().Count(p)
+}
+
+// Tuples returns every tuple stored at loc, in insertion order.
+func (nw *Network) Tuples(loc Location) []Tuple {
+	n := nw.d.Node(loc)
+	if n == nil {
+		return nil
+	}
+	return n.Space().All()
+}
+
+// TotalAgents counts live agents across the network (including in-flight
+// shells occupying slots).
+func (nw *Network) TotalAgents() int { return nw.d.TotalAgents() }
+
+// RemoteRead performs a base-station rrdp against loc, running the
+// simulation until the reply arrives or the operation times out.
+func (nw *Network) RemoteRead(loc Location, p Template) (Tuple, bool, error) {
+	var reply *wire.RemoteReply
+	nw.d.Base.RemoteOp(wire.OpRrdp, loc, Tuple{}, p, func(r wire.RemoteReply) {
+		reply = &r
+	})
+	if _, err := nw.d.Sim.RunUntil(func() bool { return reply != nil }, nw.d.Sim.Now()+10*time.Second); err != nil {
+		return Tuple{}, false, err
+	}
+	if reply == nil {
+		return Tuple{}, false, fmt.Errorf("agilla: remote read of %v stalled", loc)
+	}
+	return reply.Tuple, reply.OK, nil
+}
+
+// GridLocations enumerates the mote locations of this network's grid.
+func (nw *Network) GridLocations() []Location {
+	return topology.GridLocations(nw.w, nw.h)
+}

@@ -1,0 +1,108 @@
+// Command agilla-bench regenerates every table and figure from the
+// paper's evaluation (§4), the case study (§5), and the design-choice
+// ablations, printing paper-style rows and series.
+//
+// Usage:
+//
+//	agilla-bench -exp all
+//	agilla-bench -exp fig9 -trials 100 -seed 7
+//	agilla-bench -exp fig10,fig11,fig12,fig5,memory,speed,casestudy,mate
+//	agilla-bench -exp ablate
+//
+// Experiments (see DESIGN.md §3 for the index):
+//
+//	fig9      reliability of smove vs rout across 1-5 hops  (E1)
+//	fig10     latency of smove vs rout across 1-5 hops      (E2)
+//	fig11     one-hop latency of every remote operation     (E3)
+//	fig12     local instruction latency classes             (E4)
+//	fig5      migration message formats and sizes           (E5)
+//	memory    the 3.59KB SRAM budget decomposition          (E6)
+//	speed     maximum migration rate / tracking speed       (E7)
+//	casestudy the fire detection and tracking scenario      (E8)
+//	mate      reprogramming cost vs a Maté-style VM          (E9)
+//	ablate    protocol and channel-model ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/agilla-go/agilla/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments: fig9,fig10,fig11,fig12,fig5,memory,speed,casestudy,mate,ablate,all")
+	trials := flag.Int("trials", 100, "trials per data point")
+	seed := flag.Int64("seed", 7, "simulation seed")
+	quick := flag.Bool("quick", false, "reduced trial counts for a fast pass")
+	flag.Parse()
+
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	section := func(names ...string) bool {
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return all
+	}
+	start := time.Now()
+
+	if section("fig9", "fig10") {
+		run(&ran, func() (fmt.Stringer, error) { return experiments.Fig9and10(cfg) })
+	}
+	if section("fig11") {
+		run(&ran, func() (fmt.Stringer, error) { return experiments.Fig11(cfg) })
+	}
+	if section("fig12") {
+		run(&ran, func() (fmt.Stringer, error) { return experiments.Fig12(cfg) })
+	}
+	if section("fig5") {
+		run(&ran, func() (fmt.Stringer, error) { return experiments.Fig5Sizes() })
+	}
+	if section("memory") {
+		run(&ran, func() (fmt.Stringer, error) { return experiments.Memory(), nil })
+	}
+	if section("speed") {
+		run(&ran, func() (fmt.Stringer, error) { return experiments.Speed(cfg) })
+	}
+	if section("casestudy") {
+		run(&ran, func() (fmt.Stringer, error) { return experiments.CaseStudy(cfg) })
+	}
+	if section("mate") {
+		run(&ran, func() (fmt.Stringer, error) { return experiments.MateCompare(cfg) })
+	}
+	if section("ablate") {
+		run(&ran, func() (fmt.Stringer, error) { return experiments.AblationEndToEnd(cfg) })
+		run(&ran, func() (fmt.Stringer, error) { return experiments.AblationLossModel(cfg) })
+		run(&ran, func() (fmt.Stringer, error) { return experiments.AblationRetries(cfg) })
+	}
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "agilla-bench: no experiment matches %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("\n%d experiment group(s) in %.1fs (wall clock)\n", ran, time.Since(start).Seconds())
+}
+
+func run(ran *int, f func() (fmt.Stringer, error)) {
+	res, err := f()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "agilla-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+	*ran++
+}

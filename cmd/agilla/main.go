@@ -1,0 +1,163 @@
+// Command agilla runs an Agilla network and injects agents into it from
+// the command line, standing in for the paper's laptop base-station tool
+// (§3.1: "a Java application that allows a user to interact with the WSN
+// by injecting agents and performing remote tuple space operations").
+//
+// Usage:
+//
+//	agilla -inject prog.agilla -at 3,3 -run 30s
+//	agilla -inject prog.agilla -at 1,1 -watch
+//	agilla -disasm prog.agilla
+//
+// The program file uses the assembly dialect of the paper's Figures 2, 8,
+// and 13; see internal/asm. After the run the tool dumps every node's
+// tuple space and agent census.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/agilla-go/agilla"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "agilla: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		inject = flag.String("inject", "", "agent program file to inject")
+		at     = flag.String("at", "1,1", "destination node, e.g. 3,3")
+		width  = flag.Int("width", 5, "grid width")
+		height = flag.Int("height", 5, "grid height")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		runFor = flag.Duration("run", 30*time.Second, "virtual time to run after injecting")
+		lossy  = flag.Bool("lossy", true, "use the calibrated lossy radio")
+		disasm = flag.String("disasm", "", "disassemble a program file and exit")
+		watch  = flag.Bool("watch", false, "print middleware events as they happen")
+		fireAt = flag.String("fire", "", "ignite a fire at this node, e.g. 4,4")
+	)
+	flag.Parse()
+
+	if *disasm != "" {
+		src, err := os.ReadFile(*disasm)
+		if err != nil {
+			return err
+		}
+		code, err := agilla.Assemble(string(src))
+		if err != nil {
+			return err
+		}
+		text, err := agilla.Disassemble(code)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d bytes\n%s", len(code), text)
+		return nil
+	}
+
+	opts := agilla.Options{
+		Width: *width, Height: *height,
+		Seed: *seed, Reliable: !*lossy,
+	}
+	var fire *agilla.Fire
+	if *fireAt != "" {
+		fire = agilla.NewFire(30*time.Second, *width, *height)
+		opts.Field = fire
+	}
+	nw, err := agilla.NewNetwork(opts)
+	if err != nil {
+		return err
+	}
+
+	if *watch {
+		attachWatch(nw)
+	}
+
+	fmt.Printf("warming up %dx%d grid (seed %d)...\n", *width, *height, *seed)
+	if err := nw.WarmUp(); err != nil {
+		return err
+	}
+
+	if fire != nil {
+		loc, err := parseLoc(*fireAt)
+		if err != nil {
+			return fmt.Errorf("-fire: %w", err)
+		}
+		fire.Ignite(loc, nw.Now())
+		fmt.Printf("fire ignited at %v\n", loc)
+	}
+
+	if *inject != "" {
+		src, err := os.ReadFile(*inject)
+		if err != nil {
+			return err
+		}
+		dest, err := parseLoc(*at)
+		if err != nil {
+			return fmt.Errorf("-at: %w", err)
+		}
+		id, err := nw.Inject(string(src), dest)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("injected agent %d toward %v\n", id, dest)
+	}
+
+	if err := nw.Run(*runFor); err != nil {
+		return err
+	}
+
+	fmt.Printf("\n=== network state at t=%v ===\n", nw.Now())
+	for _, loc := range append([]agilla.Location{agilla.Loc(0, 0)}, nw.GridLocations()...) {
+		node := nw.Node(loc)
+		if node == nil {
+			continue
+		}
+		agentIDs := node.AgentIDs()
+		tuples := nw.Tuples(loc)
+		if len(agentIDs) == 0 && len(tuples) <= 4 {
+			continue // quiet node: just context tuples
+		}
+		fmt.Printf("%v  agents=%v led=%d\n", loc, agentIDs, node.LED())
+		for _, tup := range tuples {
+			fmt.Printf("      %v\n", tup)
+		}
+	}
+	fmt.Printf("total live agents: %d\n", nw.TotalAgents())
+	return nil
+}
+
+func attachWatch(nw *agilla.Network) {
+	tr := nw.Trace()
+	tr.AgentHalted = func(node agilla.Location, id uint16) {
+		fmt.Printf("%12v  halt    agent %d at %v\n", nw.Now(), id, node)
+	}
+	tr.AgentDied = func(node agilla.Location, id uint16, err error) {
+		fmt.Printf("%12v  died    agent %d at %v: %v\n", nw.Now(), id, node, err)
+	}
+}
+
+func parseLoc(s string) (agilla.Location, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return agilla.Location{}, fmt.Errorf("want x,y — got %q", s)
+	}
+	x, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return agilla.Location{}, err
+	}
+	y, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return agilla.Location{}, err
+	}
+	return agilla.Loc(int16(x), int16(y)), nil
+}

@@ -1,0 +1,107 @@
+// Firetracking reproduces the paper's §5 case study end to end: fire
+// detection agents spread across an idle network, a tracker waits at the
+// base station, a wildfire ignites, and the tracker swarm forms a dynamic
+// perimeter around the flames.
+//
+//	go run ./examples/firetracking
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"github.com/agilla-go/agilla"
+	"github.com/agilla-go/agilla/internal/agents"
+)
+
+const width, height = 5, 5
+
+func main() {
+	// The fire spreads one cell every 40 seconds once ignited.
+	fire := agilla.NewFire(40*time.Second, width, height)
+	nw, err := agilla.NewNetwork(agilla.Options{
+		Width: width, Height: height, Seed: 42, Field: fire,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := nw.WarmUp(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1 — idle-period deployment: one self-spreading FIREDETECTOR
+	// is injected at the gateway; it weak-clones itself to every mote
+	// (Figure 13's sensing loop, sampling every 2s here instead of the
+	// paper's 10 minutes so the demo stays short).
+	detector := agents.Spreader(agents.FireSentinelSrc(agilla.Loc(0, 0), 16))
+	if _, err := nw.InjectCode(detector, agilla.Loc(1, 1)); err != nil {
+		log.Fatal(err)
+	}
+	covered := func() int {
+		n := 0
+		for _, loc := range nw.GridLocations() {
+			if nw.Count(loc, agilla.Tmpl(agilla.Str("vst"))) > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	if _, err := nw.RunUntil(func() bool { return covered() >= 20 }, 5*time.Minute); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detectors deployed on %d/25 motes\n", covered())
+
+	// Phase 2 — a FIRETRACKER waits at the base station for the alert
+	// (the Figure 2 prologue: regrxn on <"fir", location>, then wait).
+	if _, err := nw.InjectCode(agents.FireTracker(), agilla.Loc(0, 0)); err != nil {
+		log.Fatal(err)
+	}
+	if err := nw.Run(2 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 3 — lightning strikes (4,4).
+	ignited := nw.Now()
+	fire.Ignite(agilla.Loc(4, 4), ignited)
+	fmt.Println("fire ignited at (4,4)")
+
+	// Phase 4 — the detector routs <"fir",(4,4)> to the base; the
+	// tracker reacts, clones to the fire, and recruits neighbors.
+	alert := agilla.Tmpl(agilla.Str("fir"), agilla.TypeV(3))
+	if ok, err := nw.RunUntil(func() bool {
+		return nw.Count(agilla.Loc(0, 0), alert) > 0
+	}, 5*time.Minute); err != nil || !ok {
+		log.Fatalf("fire never detected (ok=%v err=%v)", ok, err)
+	}
+	fmt.Printf("alert reached the base %.1fs after ignition\n", (nw.Now() - ignited).Seconds())
+
+	// Give the swarm a minute, then draw the map.
+	if err := nw.Run(60 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnetwork map at t+%.0fs   (# burning, T tracker, d detector, . idle)\n",
+		(nw.Now() - ignited).Seconds())
+	trk := agilla.Tmpl(agilla.Str("trk"))
+	trackers := 0
+	for y := height; y >= 1; y-- {
+		var row strings.Builder
+		for x := 1; x <= width; x++ {
+			loc := agilla.Loc(int16(x), int16(y))
+			switch {
+			case fire.Burning(loc, nw.Now()):
+				row.WriteString(" #")
+			case nw.Count(loc, trk) > 0:
+				row.WriteString(" T")
+				trackers++
+			case nw.Count(loc, agilla.Tmpl(agilla.Str("vst"))) > 0:
+				row.WriteString(" d")
+			default:
+				row.WriteString(" .")
+			}
+		}
+		fmt.Println(row.String())
+	}
+	fmt.Printf("\n%d motes host trackers; the swarm re-forms as the fire grows\n", trackers)
+}

@@ -1,0 +1,106 @@
+// Multiapp demonstrates why agents beat statically-installed images:
+// two independent applications share one network, and coordinate without
+// knowing each other — the exact vignette of the paper's §2.2:
+//
+//	"suppose there is a fire detection and habitat monitoring agent
+//	residing on the same node when fire is detected. The fire detection
+//	agent inserts a fire tuple into the local tuple space ... The habitat
+//	monitoring agent reacts to this tuple, and voluntarily kills itself
+//	to free additional resources."
+//
+// Neither agent names the other; the tuple space decouples them in space
+// and time.
+//
+//	go run ./examples/multiapp
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/agilla-go/agilla"
+)
+
+func main() {
+	fire := agilla.NewFire(time.Minute, 3, 3)
+	nw, err := agilla.NewNetwork(agilla.Options{
+		Width: 3, Height: 3, Seed: 5, Field: fire,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := nw.WarmUp(); err != nil {
+		log.Fatal(err)
+	}
+	mote := agilla.Loc(2, 2)
+
+	// Application 1: habitat monitoring. Samples the microphone every
+	// couple of seconds and logs readings locally — but registers a
+	// reaction on fire tuples and kills itself if one ever appears.
+	habitat := `
+		      pushn fir
+		      pusht ANY
+		      pushc 2
+		      pushcl BAIL
+		      regrxn          // if anyone reports fire, get out of the way
+		LOOP  pushc SOUND
+		      sense
+		      pushc 1
+		      out             // log the wildlife reading locally
+		      pushc 16
+		      sleep           // 2s
+		      rjump LOOP
+		BAIL  halt             // voluntarily free our resources
+	`
+	habitatID, err := nw.Inject(habitat, mote)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Application 2: fire detection (Figure 13's sensing loop), deployed
+	// by a different user onto the same mote.
+	detector := `
+		BEGIN pushc TEMPERATURE
+		      sense
+		      pushcl 200
+		      clt
+		      rjumpc FIRE
+		      pushc 8
+		      sleep           // 1s
+		      rjump BEGIN
+		FIRE  pushn fir
+		      loc
+		      pushc 2
+		      out             // fire tuple into the LOCAL tuple space
+		      halt
+	`
+	if _, err := nw.Inject(detector, mote); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := nw.Run(15 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	sound := agilla.Tmpl(agilla.TypeV(agilla.TypeOfSensor(agilla.SensorSound)))
+	fmt.Printf("both applications share mote %v: %d agents, %d wildlife readings logged\n",
+		mote, nw.Node(mote).NumAgents(), nw.Count(mote, sound))
+
+	// Disaster strikes the mote itself.
+	fire.Ignite(mote, nw.Now())
+	fmt.Println("fire ignites under the mote...")
+
+	gone, err := nw.RunUntil(func() bool {
+		_, alive := nw.Node(mote).AgentInfo(habitatID)
+		return !alive
+	}, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !gone {
+		log.Fatal("habitat agent never yielded")
+	}
+	fmt.Println("the detector out'd a fire tuple; the habitat agent's reaction fired")
+	fmt.Printf("habitat agent %d killed itself — the two never knew each other's names\n", habitatID)
+	fmt.Printf("fire tuple present: %v\n", nw.Count(mote, agilla.Tmpl(agilla.Str("fir"), agilla.TypeV(0))) > 0)
+}

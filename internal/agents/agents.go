@@ -1,0 +1,249 @@
+// Package agents holds the canonical Agilla agent programs used throughout
+// the paper — the smove and rout benchmark agents of Figure 8, the
+// FIRETRACKER prologue of Figure 2, and the FIREDETECTOR of Figure 13 —
+// plus the supporting agents the case study and examples need. Sources are
+// in the internal/asm dialect.
+package agents
+
+import (
+	"fmt"
+
+	"github.com/agilla-go/agilla/internal/asm"
+	"github.com/agilla-go/agilla/internal/topology"
+)
+
+// SmoveRoundTrip is Figure 8's smove agent generalized to any target: it
+// strong-moves to the target and back to home, then halts.
+func SmoveRoundTrip(target, home topology.Location) []byte {
+	return asm.MustAssemble(fmt.Sprintf(`
+		pushloc %d %d
+		smove       // strong move to the target mote
+		pushloc %d %d
+		smove       // strong move back home
+		halt
+	`, target.X, target.Y, home.X, home.Y))
+}
+
+// Rout is Figure 8's rout agent: place the tuple <1> in the target node's
+// tuple space, then halt.
+func Rout(target topology.Location) []byte {
+	return asm.MustAssemble(fmt.Sprintf(`
+		pushc 1
+		pushc 1     // tuple <value:1> on stack
+		pushloc %d %d
+		rout        // do rout on the target mote
+		halt
+	`, target.X, target.Y))
+}
+
+// OneHopOp builds a one-instruction remote/migration exerciser for the
+// Figure 11 sweep: perform op once against the target and halt. op must be
+// one of rout, rinp, rrdp, smove, wmove, sclone, wclone.
+func OneHopOp(op string, target topology.Location) ([]byte, error) {
+	switch op {
+	case "rout":
+		return asm.Assemble(fmt.Sprintf(
+			"pushc 1\npushc 1\npushloc %d %d\nrout\nhalt", target.X, target.Y))
+	case "rinp", "rrdp":
+		return asm.Assemble(fmt.Sprintf(
+			"pusht VALUE\npushc 1\npushloc %d %d\n%s\nhalt", target.X, target.Y, op))
+	case "smove", "sclone":
+		return asm.Assemble(fmt.Sprintf(
+			"pushloc %d %d\n%s\nhalt", target.X, target.Y, op))
+	case "wmove", "wclone":
+		// Weak operations restart the agent from instruction 0 at the
+		// destination, so a naive mover would migrate forever. A local
+		// visited marker makes the restarted copy halt instead.
+		return asm.Assemble(fmt.Sprintf(`
+			     pushn vst
+			     pushc 1
+			     rdp
+			     rjumpc SEEN
+			     pushn vst
+			     pushc 1
+			     out
+			     pushloc %d %d
+			     %s
+			     halt
+			SEEN halt
+		`, target.X, target.Y, op))
+	default:
+		return nil, fmt.Errorf("agents: unknown op %q", op)
+	}
+}
+
+// FireDetectorSrc is Figure 13 verbatim: sample the temperature every
+// period; past the threshold of 200, rout a <"fir", location> alert to the
+// notify address and halt. The paper's listing sleeps 4800 ticks (10
+// minutes at the 1/8-second tick); the period is a parameter here so the
+// case study can compress time.
+func FireDetectorSrc(notify topology.Location, sleepTicks int) string {
+	return fmt.Sprintf(`
+		BEGIN pushc TEMPERATURE
+		      sense          // measure the temperature
+		      pushcl 200
+		      clt            // condition=1 if temperature > 200
+		      rjumpc FIRE    // jump to FIRE if condition=1
+		      pushcl %d
+		      sleep
+		      rjump BEGIN
+		FIRE  pushn fir      // push string "fir"
+		      loc            // push current location
+		      pushc 2        // stack has fire alert tuple
+		      pushloc %d %d
+		      rout           // rout fire alert tuple to the tracker host
+		      halt
+	`, sleepTicks, notify.X, notify.Y)
+}
+
+// FireDetector assembles FireDetectorSrc.
+func FireDetector(notify topology.Location, sleepTicks int) []byte {
+	return asm.MustAssemble(FireDetectorSrc(notify, sleepTicks))
+}
+
+// FireTrackerSrc is the FIRETRACKER agent: the Figure 2 prologue verbatim
+// (register a reaction on <"fir", location>, wait for the alert) followed
+// by the tracking body the paper describes but does not list. On firing,
+// the tracker strong-clones to the node that detected the fire; every
+// tracker copy then drops a <"trk"> presence tuple and scans its
+// neighbors, cloning onto any neighbor that lacks a tracker while the
+// local temperature says the flames are near (>80). The scan repeats every
+// couple of seconds, so the swarm tracks the fire as it spreads — the
+// dynamic perimeter of §2.1.
+//
+// Heap variables 10 and 11 are reserved by the body.
+func FireTrackerSrc() string {
+	return `
+		BEGIN  pushn fir
+		       pusht LOCATION
+		       pushc 2
+		       pushcl FIRE
+		       regrxn        // register fire alert reaction
+		       wait          // wait for reaction to fire
+		FIRE   pop           // field count pushed by the firing
+		       sclone        // strong clone to the node that detected fire
+		       pop           // the "fir" string field of the alert
+		       pop           // the saved PC from the firing; the firing
+		                     // may repeat on every re-alert, so the FIRE
+		                     // path must leave the stack as it found it
+
+		// --- tracking body: runs on the original and every clone ---
+		TBODY  pushn trk
+		       pushc 1
+		       rdp           // presence already marked here?
+		       rjumpc TPOP
+		       pushn trk
+		       pushc 1
+		       out           // mark presence
+		       rjump TSCAN
+		TPOP   pop           // field count from the rdp result
+		       pop           // the "trk" field
+		TSCAN  pushc 0
+		       setvar 10     // neighbor index
+		TLOOP  getvar 10
+		       getnbr        // neighbor i (condition = index valid)
+		       rjumpc TCHK
+		       rjump TSLEEP  // exhausted: sleep and rescan
+		TCHK   setvar 11     // remember the neighbor
+		       pushn trk
+		       pushc 1
+		       getvar 11
+		       rrdp          // tracker already at the neighbor?
+		       rjumpc TGOT
+		       pushc TEMPERATURE
+		       sense         // are the flames near us?
+		       pushcl 80
+		       clt           // condition = reading > 80
+		       rjumpc TCLONE
+		       rjump TNEXT
+		TGOT   pop           // field count
+		       pop           // "trk"
+		       rjump TNEXT
+		TCLONE getvar 11
+		       sclone        // recruit the neighbor; both copies continue
+		TNEXT  getvar 10
+		       inc
+		       setvar 10
+		       rjump TLOOP
+		TSLEEP pushc 16      // 2 s at the 1/8 s tick
+		       sleep
+		       rjump TBODY
+	`
+}
+
+// FireTracker assembles FireTrackerSrc.
+func FireTracker() []byte { return asm.MustAssemble(FireTrackerSrc()) }
+
+// FireSentinelSrc is the case study's looping variant of Figure 13: where
+// the paper's listing halts after one alert, the sentinel keeps
+// monitoring, re-alerting every period while the fire burns. The retry
+// matters under a lossy radio: a lost alert or a failed tracker clone is
+// repaired by the next round.
+func FireSentinelSrc(notify topology.Location, sleepTicks int) string {
+	return fmt.Sprintf(`
+		BEGIN pushc TEMPERATURE
+		      sense
+		      pushcl 200
+		      clt
+		      rjumpc FIRE
+		      pushcl %d
+		      sleep
+		      rjump BEGIN
+		FIRE  pushn fir
+		      loc
+		      pushc 2
+		      pushloc %d %d
+		      rout
+		      pushcl %d
+		      sleep
+		      rjump BEGIN
+	`, sleepTicks, notify.X, notify.Y, sleepTicks*4)
+}
+
+// Blink is the quickstart agent: flash the LEDs and leave a greeting tuple.
+func Blink() []byte {
+	return asm.MustAssemble(`
+		pushc 7
+		putled         // all LEDs on
+		pushn hi
+		loc
+		pushc 2
+		out            // <"hi", location>
+		halt
+	`)
+}
+
+// SpreaderSrc clones the calling agent's payload across the network: a
+// wclone-based flood used to deploy detectors everywhere. At each node it
+// drops a presence tuple and weak-clones to every neighbor not yet
+// visited (detected by probing for the presence tuple remotely).
+//
+// payload runs after the spreading epilogue on every node. Labels SPREAD*
+// are reserved.
+func SpreaderSrc(payload string) string {
+	return `
+	SPREAD0   pushn vst
+	          pushc 1
+	          rdp            // already visited this node? (non-destructive)
+	          rjumpc SPREADX // yes: halt this copy
+	          pushn vst
+	          pushc 1
+	          out            // mark visited
+	          pushc 0
+	          setvar 11      // neighbor index
+	SPREADL   getvar 11
+	          getnbr         // neighbor at index
+	          rjumpc SPREADC // valid index: clone there
+	          rjump SPREADP  // exhausted: run payload
+	SPREADC   wclone         // weak clone restarts at SPREAD0 there
+	          getvar 11
+	          inc
+	          setvar 11
+	          rjump SPREADL
+	SPREADX   halt
+	SPREADP   pop            // drop the invalid neighbor location
+	` + payload
+}
+
+// Spreader assembles SpreaderSrc with the given payload.
+func Spreader(payload string) []byte { return asm.MustAssemble(SpreaderSrc(payload)) }

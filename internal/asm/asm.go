@@ -1,0 +1,365 @@
+// Package asm assembles the Agilla agent language used throughout the
+// paper (Figures 2, 8, and 13) into VM bytecode, and disassembles bytecode
+// back to text.
+//
+// Source format, one instruction per line:
+//
+//	// comment
+//	BEGIN pushc TEMPERATURE   // optional leading label
+//	      sense
+//	      pushcl 200
+//	      clt
+//	      rjumpc FIRE
+//	      ...
+//	FIRE  pushn fir
+//
+// Labels are identifiers that start the line and are followed by an
+// instruction on the same or a later line. Operands may be decimal
+// integers, labels (resolved to code addresses), or the built-in symbols
+// for sensor and field types (TEMPERATURE, PHOTO, SOUND, SMOKE, VALUE,
+// STRING, LOCATION, TYPE, READING, AGENTID, ANY).
+package asm
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/agilla-go/agilla/internal/tuplespace"
+	"github.com/agilla-go/agilla/internal/vm"
+)
+
+// ErrSyntax is wrapped by all assembly errors.
+var ErrSyntax = errors.New("asm: syntax error")
+
+// Builtin symbol values usable as immediate operands.
+var builtins = map[string]int16{
+	// Sensor type codes (for pushc + sense, and pushrt).
+	"TEMPERATURE": int16(tuplespace.SensorTemperature),
+	"PHOTO":       int16(tuplespace.SensorPhoto),
+	"SOUND":       int16(tuplespace.SensorSound),
+	"SMOKE":       int16(tuplespace.SensorSmoke),
+	// Field type codes (for pusht).
+	"ANY":      int16(tuplespace.TypeAny),
+	"VALUE":    int16(tuplespace.TypeValue),
+	"STRING":   int16(tuplespace.TypeString),
+	"LOCATION": int16(tuplespace.TypeLocation),
+	"READING":  int16(tuplespace.TypeReading),
+	"AGENTID":  int16(tuplespace.TypeAgentID),
+}
+
+// pushtSpecial lets `pusht TEMPERATURE` mean "readings of the temperature
+// sensor" rather than the raw sensor code, as the FIRETRACKER agent
+// expects.
+var pushtSpecial = map[string]int16{
+	"TEMPERATURE": int16(tuplespace.TypeOfSensor(tuplespace.SensorTemperature)),
+	"PHOTO":       int16(tuplespace.TypeOfSensor(tuplespace.SensorPhoto)),
+	"SOUND":       int16(tuplespace.TypeOfSensor(tuplespace.SensorSound)),
+	"SMOKE":       int16(tuplespace.TypeOfSensor(tuplespace.SensorSmoke)),
+}
+
+type stmt struct {
+	line     int
+	op       vm.Op
+	info     vm.Info
+	args     []string
+	addr     int
+	labelRef string // for rjump/rjumpc targets awaiting resolution
+}
+
+// Assemble compiles source text to bytecode.
+func Assemble(src string) ([]byte, error) {
+	lines := strings.Split(src, "\n")
+	labels := make(map[string]int)
+	consts := make(map[string]int16)
+	var stmts []stmt
+	addr := 0
+
+	var pendingLabels []string
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		// .const NAME VALUE directive.
+		if fields[0] == ".const" {
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: %w: .const NAME VALUE", ln+1, ErrSyntax)
+			}
+			v, err := parseInt(fields[2], -32768, 32767)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			consts[fields[1]] = int16(v)
+			continue
+		}
+		// Leading labels: tokens that are not mnemonics.
+		for len(fields) > 0 {
+			name := strings.TrimSuffix(fields[0], ":")
+			if _, isOp := vm.ByName(strings.ToLower(name)); isOp && name == fields[0] {
+				break
+			}
+			if !isLabel(name) {
+				break
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("line %d: %w: duplicate label %q", ln+1, ErrSyntax, name)
+			}
+			labels[name] = addr
+			pendingLabels = append(pendingLabels, name)
+			fields = fields[1:]
+		}
+		if len(fields) == 0 {
+			continue // label-only line; binds to next instruction
+		}
+		op, ok := vm.ByName(strings.ToLower(fields[0]))
+		if !ok {
+			return nil, fmt.Errorf("line %d: %w: unknown instruction %q", ln+1, ErrSyntax, fields[0])
+		}
+		info, _ := vm.Lookup(op)
+		st := stmt{line: ln + 1, op: op, info: info, args: fields[1:], addr: addr}
+		stmts = append(stmts, st)
+		addr += 1 + info.Operands
+		pendingLabels = nil
+	}
+	if len(pendingLabels) > 0 {
+		// Trailing labels point just past the end; allow them (useful as
+		// an end marker) — they already recorded addr.
+		_ = pendingLabels
+	}
+	if addr > 65535 {
+		return nil, fmt.Errorf("%w: program too large (%d bytes)", ErrSyntax, addr)
+	}
+
+	resolve := func(tok string, st stmt) (int16, error) {
+		if v, ok := labels[tok]; ok {
+			return int16(v), nil
+		}
+		if v, ok := consts[tok]; ok {
+			return v, nil
+		}
+		if v, ok := builtins[tok]; ok {
+			return v, nil
+		}
+		v, err := parseInt(tok, -32768, 32767)
+		if err != nil {
+			return 0, fmt.Errorf("line %d: %w: cannot resolve operand %q", st.line, ErrSyntax, tok)
+		}
+		return int16(v), nil
+	}
+
+	code := make([]byte, 0, addr)
+	for _, st := range stmts {
+		if err := checkArity(st); err != nil {
+			return nil, err
+		}
+		code = append(code, byte(st.op))
+		switch st.op {
+		case vm.OpPushc:
+			v, err := resolve(st.args[0], st)
+			if err != nil {
+				return nil, err
+			}
+			if v < 0 || v > 255 {
+				return nil, fmt.Errorf("line %d: %w: pushc operand %d out of [0,255]; use pushcl", st.line, ErrSyntax, v)
+			}
+			code = append(code, byte(v))
+		case vm.OpPushcl:
+			v, err := resolve(st.args[0], st)
+			if err != nil {
+				return nil, err
+			}
+			code = append(code, byte(uint16(v)>>8), byte(uint16(v)))
+		case vm.OpPushn:
+			name := strings.Trim(st.args[0], `"`)
+			if len(name) == 0 || len(name) > tuplespace.MaxStringLen {
+				return nil, fmt.Errorf("line %d: %w: pushn name must be 1-%d chars", st.line, ErrSyntax, tuplespace.MaxStringLen)
+			}
+			var buf [3]byte
+			copy(buf[:], name)
+			code = append(code, buf[:]...)
+		case vm.OpPusht:
+			tok := st.args[0]
+			var v int16
+			if sv, ok := pushtSpecial[tok]; ok {
+				v = sv
+			} else {
+				var err error
+				v, err = resolve(tok, st)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if v < 0 || v > 255 {
+				return nil, fmt.Errorf("line %d: %w: pusht code %d out of range", st.line, ErrSyntax, v)
+			}
+			code = append(code, byte(v))
+		case vm.OpPushrt:
+			v, err := resolve(st.args[0], st)
+			if err != nil {
+				return nil, err
+			}
+			if v < 0 || v > 255 {
+				return nil, fmt.Errorf("line %d: %w: pushrt sensor %d out of range", st.line, ErrSyntax, v)
+			}
+			code = append(code, byte(v))
+		case vm.OpPushloc:
+			x, err := resolve(st.args[0], st)
+			if err != nil {
+				return nil, err
+			}
+			y, err := resolve(st.args[1], st)
+			if err != nil {
+				return nil, err
+			}
+			if x < -128 || x > 127 || y < -128 || y > 127 {
+				return nil, fmt.Errorf("line %d: %w: pushloc coordinates out of [-128,127]", st.line, ErrSyntax)
+			}
+			code = append(code, byte(int8(x)), byte(int8(y)))
+		case vm.OpRjump, vm.OpRjumpc:
+			var off int
+			if target, ok := labels[st.args[0]]; ok {
+				off = target - st.addr
+			} else {
+				v, err := parseInt(st.args[0], -128, 127)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %w: unknown jump target %q", st.line, ErrSyntax, st.args[0])
+				}
+				off = v
+			}
+			if off < -128 || off > 127 {
+				return nil, fmt.Errorf("line %d: %w: jump to %q spans %d bytes (max ±128); use pushcl+jumps", st.line, ErrSyntax, st.args[0], off)
+			}
+			code = append(code, byte(int8(off)))
+		case vm.OpGetvar, vm.OpSetvar:
+			v, err := resolve(st.args[0], st)
+			if err != nil {
+				return nil, err
+			}
+			if v < 0 || int(v) >= vm.HeapSlots {
+				return nil, fmt.Errorf("line %d: %w: heap address %d out of [0,%d)", st.line, ErrSyntax, v, vm.HeapSlots)
+			}
+			code = append(code, byte(v))
+		default:
+			if st.info.Operands != 0 {
+				return nil, fmt.Errorf("line %d: %w: internal: unhandled operands for %s", st.line, ErrSyntax, st.info.Name)
+			}
+		}
+	}
+	return code, nil
+}
+
+func checkArity(st stmt) error {
+	want := 0
+	switch st.op {
+	case vm.OpPushc, vm.OpPushcl, vm.OpPushn, vm.OpPusht, vm.OpPushrt,
+		vm.OpRjump, vm.OpRjumpc, vm.OpGetvar, vm.OpSetvar:
+		want = 1
+	case vm.OpPushloc:
+		want = 2
+	}
+	if len(st.args) != want {
+		return fmt.Errorf("line %d: %w: %s takes %d operand(s), got %d", st.line, ErrSyntax, st.info.Name, want, len(st.args))
+	}
+	return nil
+}
+
+func parseInt(s string, lo, hi int) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q is not an integer", ErrSyntax, s)
+	}
+	if v < lo || v > hi {
+		return 0, fmt.Errorf("%w: %d out of [%d,%d]", ErrSyntax, v, lo, hi)
+	}
+	return v, nil
+}
+
+func isLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		case r >= 'a' && r <= 'z':
+			// Lowercase tokens are mnemonics, not labels.
+			return false
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// MustAssemble assembles src and panics on error. For tests and the
+// built-in example agents only.
+func MustAssemble(src string) []byte {
+	code, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return code
+}
+
+// Disassemble renders bytecode as assembly text, one instruction per
+// line, with byte addresses.
+func Disassemble(code []byte) (string, error) {
+	var sb strings.Builder
+	pc := 0
+	for pc < len(code) {
+		n, err := vm.Size(code, pc)
+		if err != nil {
+			return "", err
+		}
+		op := vm.Op(code[pc])
+		info, _ := vm.Lookup(op)
+		fmt.Fprintf(&sb, "%4d: %s", pc, info.Name)
+		operands := code[pc+1 : pc+n]
+		switch op {
+		case vm.OpPushc, vm.OpPusht, vm.OpPushrt:
+			fmt.Fprintf(&sb, " %d", operands[0])
+		case vm.OpPushcl:
+			fmt.Fprintf(&sb, " %d", int16(uint16(operands[0])<<8|uint16(operands[1])))
+		case vm.OpPushn:
+			name := strings.TrimRight(string(operands), "\x00")
+			fmt.Fprintf(&sb, " %s", name)
+		case vm.OpPushloc:
+			fmt.Fprintf(&sb, " %d %d", int8(operands[0]), int8(operands[1]))
+		case vm.OpRjump, vm.OpRjumpc:
+			fmt.Fprintf(&sb, " %d", int8(operands[0]))
+		case vm.OpGetvar, vm.OpSetvar:
+			fmt.Fprintf(&sb, " %d", operands[0])
+		}
+		sb.WriteByte('\n')
+		pc += n
+	}
+	return sb.String(), nil
+}
+
+// Validate walks the bytecode verifying every instruction decodes; it
+// returns the instruction count.
+func Validate(code []byte) (int, error) {
+	pc, n := 0, 0
+	for pc < len(code) {
+		sz, err := vm.Size(code, pc)
+		if err != nil {
+			return n, err
+		}
+		pc += sz
+		n++
+	}
+	return n, nil
+}

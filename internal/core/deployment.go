@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/agilla-go/agilla/internal/radio"
+	"github.com/agilla-go/agilla/internal/sensor"
+	"github.com/agilla-go/agilla/internal/sim"
+	"github.com/agilla-go/agilla/internal/topology"
+	"github.com/agilla-go/agilla/internal/tuplespace"
+	"github.com/agilla-go/agilla/internal/vm"
+	"github.com/agilla-go/agilla/internal/wire"
+)
+
+// InjectAgent ships a fresh agent from this node to dest, exactly as the
+// base station's Java tool injects agents into the network through the
+// MIB510 bridge (§3.1). The agent starts executing at dest from its first
+// instruction. If dest is this node, the agent simply starts here.
+//
+// The returned ID identifies the agent while it is in flight; a failed
+// injection resumes the agent on this node with condition zero, per the
+// standard migration failure semantics.
+func (n *Node) InjectAgent(code []byte, dest topology.Location) (uint16, error) {
+	if dest == n.loc {
+		return n.CreateAgent(code)
+	}
+	if len(n.agents)+n.reserve >= n.cfg.MaxAgents {
+		return 0, fmt.Errorf("%w: %d hosted", ErrAgentLimit, len(n.agents))
+	}
+	id := n.NextAgentID()
+	a := vm.NewAgent(id, append([]byte(nil), code...))
+	rec, err := n.admitRecord(a)
+	if err != nil {
+		return 0, err
+	}
+	rec.state = AgentMigrating
+	snap := n.snapshotAgent(rec, wire.MigInject, dest)
+	if n.trace != nil && n.trace.MigrationStarted != nil {
+		n.trace.MigrationStarted(n.loc, id, wire.MigInject, dest)
+	}
+	n.sim.Schedule(n.cfg.MigSendOverhead, func() {
+		n.beginTransfer(rec, snap, true)
+	})
+	return id, nil
+}
+
+// RemoteOp lets the base station (or a test) perform a remote tuple space
+// operation without running an agent: the Java base-station application
+// "allows a user to interact with the WSN by injecting agents and
+// performing remote tuple space operations" (§3.1). The callback receives
+// the outcome; it is invoked synchronously for local destinations.
+func (n *Node) RemoteOp(op wire.RemoteOp, dest topology.Location, t tuplespace.Tuple, p tuplespace.Template, done func(wire.RemoteReply)) {
+	n.reqSeq++
+	req := wire.RemoteRequest{ReqID: n.reqSeq, Op: op, ReplyTo: n.loc, Tuple: t, Template: p}
+	if dest == n.loc {
+		if done != nil {
+			done(n.performRemote(req))
+		}
+		return
+	}
+	pr := &pendingRemote{
+		reqID:   req.ReqID,
+		done:    done,
+		dest:    dest,
+		req:     req,
+		started: n.sim.Now(),
+	}
+	n.remote[pr.reqID] = pr
+	n.stats.RemoteInitiated++
+	n.sendRemote(pr)
+}
+
+// Deployment is a full Agilla network: a grid of motes, the shared radio
+// medium, and a base station bridged to a gateway mote — Figure 3's 25-mote
+// testbed with its laptop.
+type Deployment struct {
+	Sim    *sim.Sim
+	Medium *radio.Medium
+	Base   *Node
+	Trace  *Trace
+
+	nodes map[topology.Location]*Node
+	cfg   DeploymentConfig
+}
+
+// DeploymentConfig assembles a Deployment.
+type DeploymentConfig struct {
+	// Width and Height give the mote grid; (1,1) is the lower-left node.
+	Width, Height int
+	// Seed drives all randomness.
+	Seed int64
+	// Radio selects the loss/latency model (zero value: radio.Lossy()).
+	Radio *radio.Params
+	// Node configures every mote; Base overrides for the base station
+	// (zero values select paper defaults, with a roomier base).
+	Node Config
+	Base *Config
+	// BaseLoc and GatewayLoc place the base station and its bridge link;
+	// defaults are (0,0) and (1,1) as in §4.
+	BaseLoc, GatewayLoc *topology.Location
+	// Topo overrides the connectivity model (nil: the grid plus the base
+	// link). Used by failure-injection tests.
+	Topo topology.Topology
+	// Field drives sensor readings (nil: all sensors read 0).
+	Field sensor.Field
+}
+
+// NewGridDeployment builds the testbed. All nodes share one Trace.
+func NewGridDeployment(cfg DeploymentConfig) (*Deployment, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("core: deployment needs positive grid dimensions")
+	}
+	s := sim.New(cfg.Seed)
+	params := radio.Lossy()
+	if cfg.Radio != nil {
+		params = *cfg.Radio
+	}
+	baseLoc := topology.Loc(0, 0)
+	if cfg.BaseLoc != nil {
+		baseLoc = *cfg.BaseLoc
+	}
+	gwLoc := topology.Loc(1, 1)
+	if cfg.GatewayLoc != nil {
+		gwLoc = *cfg.GatewayLoc
+	}
+	var topo topology.Topology = topology.WithBase{Inner: topology.Grid{}, Base: baseLoc, Gateway: gwLoc}
+	if cfg.Topo != nil {
+		topo = cfg.Topo
+	}
+	medium := radio.NewMedium(s, topo, params)
+	trace := &Trace{}
+
+	d := &Deployment{
+		Sim:    s,
+		Medium: medium,
+		Trace:  trace,
+		nodes:  make(map[topology.Location]*Node),
+		cfg:    cfg,
+	}
+
+	baseCfg := cfg.Node
+	if cfg.Base != nil {
+		baseCfg = *cfg.Base
+	} else {
+		// The base station is a laptop: effectively unconstrained.
+		baseCfg.MaxAgents = 64
+		baseCfg.CodeBlocks = 512
+		baseCfg.ArenaBytes = 16 * 1024
+		baseCfg.RegistryBytes = 8 * 1024
+		baseCfg.RegistryMax = 128
+	}
+
+	base, err := NewNode(s, medium, baseLoc, 0, nil, baseCfg, trace)
+	if err != nil {
+		return nil, fmt.Errorf("core: base station: %w", err)
+	}
+	d.Base = base
+	d.nodes[baseLoc] = base
+
+	idx := uint8(1)
+	for _, loc := range topology.GridLocations(cfg.Width, cfg.Height) {
+		board := sensor.NewBoard(loc, cfg.Field, sensor.DefaultSensors()...)
+		n, err := NewNode(s, medium, loc, idx, board, cfg.Node, trace)
+		if err != nil {
+			return nil, fmt.Errorf("core: node %v: %w", loc, err)
+		}
+		d.nodes[loc] = n
+		idx++
+	}
+	return d, nil
+}
+
+// Start begins beaconing on every node, in location order so the beacon
+// offsets drawn from the shared RNG are reproducible.
+func (d *Deployment) Start() {
+	for _, n := range d.Nodes() {
+		n.Start()
+	}
+}
+
+// WarmUp starts the network and runs long enough for every acquaintance
+// list to fill (a bit over two beacon periods).
+func (d *Deployment) WarmUp() error {
+	d.Start()
+	period := d.cfg.Node.Network.BeaconEvery
+	if period <= 0 {
+		period = 2 * time.Second
+	}
+	return d.Sim.Run(d.Sim.Now() + 2*period + period/2)
+}
+
+// Node returns the mote at loc, or nil.
+func (d *Deployment) Node(loc topology.Location) *Node { return d.nodes[loc] }
+
+// Nodes returns all nodes (including the base) sorted by location.
+func (d *Deployment) Nodes() []*Node {
+	out := make([]*Node, 0, len(d.nodes))
+	for _, n := range d.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].loc.Y != out[j].loc.Y {
+			return out[i].loc.Y < out[j].loc.Y
+		}
+		return out[i].loc.X < out[j].loc.X
+	})
+	return out
+}
+
+// Motes returns the grid nodes without the base station.
+func (d *Deployment) Motes() []*Node {
+	var out []*Node
+	for _, n := range d.Nodes() {
+		if n != d.Base {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TotalAgents counts live agents across the network, including agents
+// mid-handoff that are reserved on a receiver but not yet instantiated, so
+// the count never dips to zero while an agent is in flight.
+func (d *Deployment) TotalAgents() int {
+	total := 0
+	for _, n := range d.nodes {
+		total += len(n.agents) + n.reserve
+	}
+	return total
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"github.com/agilla-go/agilla/internal/tuplespace"
+	"github.com/agilla-go/agilla/internal/vm"
+)
+
+// The Agilla engine (§3.2): a virtual machine kernel running all hosted
+// agents with round-robin scheduling. Each agent executes up to Slice
+// instructions (default 4, as in Maté) before a context switch, and the
+// engine switches immediately when an agent executes a long-running
+// instruction (sleep, sense, wait, blocking ops, migration, remote ops).
+//
+// Execution is one-instruction-per-task, exactly like the original: every
+// engine step is a simulator event that runs one instruction and schedules
+// the next step after the instruction's modelled latency.
+
+// enqueue makes a ready record runnable and kicks the engine.
+func (n *Node) enqueue(rec *record) {
+	if rec.queued || rec.state != AgentReady {
+		return
+	}
+	rec.queued = true
+	rec.sliceUsed = 0
+	n.runQueue = append(n.runQueue, rec)
+	n.pump()
+}
+
+// dequeueHead removes the queue head.
+func (n *Node) dequeueHead() {
+	n.runQueue[0].queued = false
+	n.runQueue = n.runQueue[1:]
+}
+
+// rotateHead moves the queue head to the back (context switch).
+func (n *Node) rotateHead() {
+	if len(n.runQueue) > 1 {
+		rec := n.runQueue[0]
+		n.runQueue = append(n.runQueue[1:], rec)
+	}
+	n.runQueue[len(n.runQueue)-1].sliceUsed = 0
+}
+
+// pump schedules an engine step if one is not already pending.
+func (n *Node) pump() {
+	if n.busy || n.stopped || len(n.runQueue) == 0 {
+		return
+	}
+	n.busy = true
+	n.sim.Post(n.engineStep)
+}
+
+// engineStep runs exactly one instruction of the agent at the head of the
+// run queue, then reschedules itself after the instruction's latency.
+func (n *Node) engineStep() {
+	n.busy = false
+	if n.stopped {
+		return
+	}
+	// Skip agents that stopped being runnable while queued.
+	for len(n.runQueue) > 0 && n.runQueue[0].state != AgentReady {
+		n.dequeueHead()
+	}
+	if len(n.runQueue) == 0 {
+		return
+	}
+	rec := n.runQueue[0]
+
+	// Deliver one pending reaction firing at the instruction boundary:
+	// save the PC on the stack so the agent can resume, push the matched
+	// tuple, and jump to the reaction's code (§3.3).
+	if len(rec.pending) > 0 {
+		f := rec.pending[0]
+		rec.pending = rec.pending[1:]
+		if err := n.deliverFiring(rec, f); err != nil {
+			n.killAgent(rec, err)
+			n.pump()
+			return
+		}
+	}
+
+	out := vm.Step(rec.agent, n)
+	n.stats.InstrExecuted++
+	if n.trace != nil && n.trace.InstrExecuted != nil {
+		n.trace.InstrExecuted(n.loc, rec.agent.ID, out.Op)
+	}
+
+	n.applyEffect(rec, out)
+
+	// Context switch policy: rotate when the slice is exhausted or the
+	// agent stopped being runnable ("if an agent executes a long-running
+	// instruction ... the engine immediately switches context", §3.2).
+	if rec.state == AgentReady {
+		rec.sliceUsed++
+		if rec.sliceUsed >= n.cfg.Slice {
+			n.rotateHead()
+		}
+	} else if len(n.runQueue) > 0 && n.runQueue[0] == rec {
+		n.dequeueHead()
+	}
+
+	if len(n.runQueue) > 0 || rec.state == AgentReady {
+		n.busy = true
+		n.sim.Schedule(out.Cost, n.engineStep)
+	}
+}
+
+// deliverFiring redirects an agent into reaction code.
+func (n *Node) deliverFiring(rec *record, f firing) error {
+	a := rec.agent
+	// Save the interrupted PC for the reaction epilogue (jumps).
+	if err := a.Push(tuplespace.Int(int16(a.PC))); err != nil {
+		return err
+	}
+	if err := a.PushFields(f.tuple.Fields); err != nil {
+		return err
+	}
+	a.PC = f.pc
+	return nil
+}
+
+// applyEffect carries out the engine-side half of a long-running
+// instruction.
+func (n *Node) applyEffect(rec *record, out vm.Outcome) {
+	switch out.Effect {
+	case vm.EffectNone:
+		// keep running
+
+	case vm.EffectHalt:
+		rec.state = AgentDead
+		n.stats.AgentsHalted++
+		if n.trace != nil && n.trace.AgentHalted != nil {
+			n.trace.AgentHalted(n.loc, rec.agent.ID)
+		}
+		n.reclaim(rec.agent.ID)
+
+	case vm.EffectError:
+		n.killAgent(rec, out.Err)
+
+	case vm.EffectSleep:
+		rec.state = AgentSleeping
+		rec.wake = n.sim.Schedule(out.Sleep, func() {
+			if rec.state != AgentSleeping {
+				return
+			}
+			rec.wake = nil
+			rec.state = AgentReady
+			n.enqueue(rec)
+		})
+
+	case vm.EffectWait:
+		// Resumes when a reaction fires (onTupleInserted). An agent with
+		// a firing already queued resumes immediately.
+		if len(rec.pending) > 0 {
+			rec.state = AgentReady
+			n.enqueue(rec)
+			return
+		}
+		rec.state = AgentWaiting
+
+	case vm.EffectBlocked:
+		rec.state = AgentBlocked
+		rec.blockTmpl = out.Block
+		rec.blockRemove = out.BlockRemove
+
+	case vm.EffectMigrate:
+		n.startMigration(rec, out)
+
+	case vm.EffectRemote:
+		n.startRemote(rec, out)
+	}
+}
+
+// killAgent reclaims an agent that died with an error.
+func (n *Node) killAgent(rec *record, err error) {
+	rec.state = AgentDead
+	n.stats.AgentsDied++
+	if n.trace != nil && n.trace.AgentDied != nil {
+		n.trace.AgentDied(n.loc, rec.agent.ID, err)
+	}
+	n.reclaim(rec.agent.ID)
+}
+
+// resumeAgent returns a suspended agent to the run queue with the given
+// condition code (used by migration and remote completions).
+func (n *Node) resumeAgent(rec *record, condition int16) {
+	if rec.state == AgentDead {
+		return
+	}
+	rec.agent.Condition = condition
+	rec.state = AgentReady
+	n.enqueue(rec)
+}

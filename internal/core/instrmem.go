@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/agilla-go/agilla/internal/wire"
+)
+
+// ErrNoInstrMem is returned when an agent's code does not fit in the
+// remaining instruction-memory blocks.
+var ErrNoInstrMem = errors.New("core: out of instruction memory")
+
+// InstrMem is the instruction manager's block allocator (§3.2): since
+// TinyOS has no dynamic memory allocation, Agilla implements its own,
+// handing out the minimum number of 22-byte blocks needed for an agent's
+// code. "We found that 22 byte blocks are a good compromise between
+// internal fragmentation and undue forward pointer overhead."
+//
+// The zero value is not usable; construct with NewInstrMem.
+type InstrMem struct {
+	totalBlocks int
+	usedBlocks  int
+	byAgent     map[uint16]int
+}
+
+// NewInstrMem creates an allocator with the given block budget;
+// non-positive selects the paper's 20-block default.
+func NewInstrMem(blocks int) *InstrMem {
+	if blocks <= 0 {
+		blocks = DefaultCodeBlocks
+	}
+	return &InstrMem{totalBlocks: blocks, byAgent: make(map[uint16]int)}
+}
+
+// BlocksFor returns how many 22-byte blocks a program of n bytes needs.
+func BlocksFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + wire.CodeBlockSize - 1) / wire.CodeBlockSize
+}
+
+// TotalBlocks returns the block budget.
+func (m *InstrMem) TotalBlocks() int { return m.totalBlocks }
+
+// FreeBlocks returns the unallocated block count.
+func (m *InstrMem) FreeBlocks() int { return m.totalBlocks - m.usedBlocks }
+
+// UsedBytes returns the bytes charged (whole blocks).
+func (m *InstrMem) UsedBytes() int { return m.usedBlocks * wire.CodeBlockSize }
+
+// CapBytes returns the budget in bytes (440 by default).
+func (m *InstrMem) CapBytes() int { return m.totalBlocks * wire.CodeBlockSize }
+
+// Alloc charges the blocks for an agent's code. Allocating twice for the
+// same agent is a programming error and fails.
+func (m *InstrMem) Alloc(agentID uint16, codeLen int) error {
+	if _, dup := m.byAgent[agentID]; dup {
+		return fmt.Errorf("core: instruction memory already allocated for agent %d", agentID)
+	}
+	need := BlocksFor(codeLen)
+	if m.usedBlocks+need > m.totalBlocks {
+		return fmt.Errorf("%w: need %d blocks, %d free", ErrNoInstrMem, need, m.FreeBlocks())
+	}
+	m.byAgent[agentID] = need
+	m.usedBlocks += need
+	return nil
+}
+
+// CanAlloc reports whether codeLen bytes would fit right now.
+func (m *InstrMem) CanAlloc(codeLen int) bool {
+	return m.usedBlocks+BlocksFor(codeLen) <= m.totalBlocks
+}
+
+// Free releases an agent's blocks. Freeing an unknown agent is a no-op.
+func (m *InstrMem) Free(agentID uint16) {
+	if n, ok := m.byAgent[agentID]; ok {
+		m.usedBlocks -= n
+		delete(m.byAgent, agentID)
+	}
+}
+
+// BlocksOf returns the blocks charged to an agent.
+func (m *InstrMem) BlocksOf(agentID uint16) int { return m.byAgent[agentID] }

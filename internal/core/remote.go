@@ -1,0 +1,183 @@
+package core
+
+import (
+	"time"
+
+	"github.com/agilla-go/agilla/internal/radio"
+	"github.com/agilla-go/agilla/internal/sim"
+	"github.com/agilla-go/agilla/internal/topology"
+	"github.com/agilla-go/agilla/internal/vm"
+	"github.com/agilla-go/agilla/internal/wire"
+)
+
+// The remote tuple space operation manager (Figure 4). Unlike migration,
+// remote operations use unacknowledged end-to-end communication: "a request
+// can fit in one message, and the operational semantics are not broken if a
+// message is lost. To reduce the effects of message loss, the initiator
+// timeouts after 2 seconds and re-transmits the request at most twice"
+// (§3.2).
+
+// pendingRemote tracks one in-flight remote operation. Exactly one of rec
+// (an agent suspended on the instruction) or done (a base-station tool
+// callback) is set.
+type pendingRemote struct {
+	reqID    uint16
+	rec      *record
+	done     func(wire.RemoteReply)
+	kind     vm.RemoteKind
+	dest     topology.Location
+	req      wire.RemoteRequest
+	attempts int
+	timer    *sim.Event
+	started  time.Duration
+}
+
+// startRemote handles EffectRemote: suspend the agent, ship the request,
+// and resume it when the reply arrives or the retransmissions run out.
+func (n *Node) startRemote(rec *record, out vm.Outcome) {
+	rec.state = AgentRemote
+	n.reqSeq++
+	pr := &pendingRemote{
+		reqID:   n.reqSeq,
+		rec:     rec,
+		kind:    out.Remote,
+		dest:    out.Dest,
+		started: n.sim.Now(),
+	}
+	var op wire.RemoteOp
+	switch out.Remote {
+	case vm.RemoteOut:
+		op = wire.OpRout
+	case vm.RemoteInp:
+		op = wire.OpRinp
+	case vm.RemoteRdp:
+		op = wire.OpRrdp
+	}
+	pr.req = wire.RemoteRequest{
+		ReqID:    pr.reqID,
+		Op:       op,
+		ReplyTo:  n.loc,
+		Tuple:    out.Tuple,
+		Template: out.Template,
+	}
+	n.remote[pr.reqID] = pr
+	n.stats.RemoteInitiated++
+
+	// A remote operation on the local node short-circuits to the local
+	// tuple space without touching the radio.
+	if out.Dest == n.loc {
+		reply := n.performRemote(pr.req)
+		delete(n.remote, pr.reqID)
+		n.settleRemote(pr, reply)
+		return
+	}
+	n.sendRemote(pr)
+}
+
+func (n *Node) sendRemote(pr *pendingRemote) {
+	pr.attempts++
+	// Losses at any hop silently eat the request; only the timer saves us.
+	_ = n.net.SendRouted(pr.dest, radio.KindRemoteTS, pr.req.Encode())
+	pr.timer = n.sim.Schedule(n.cfg.RemoteTimeout, func() { n.onRemoteTimeout(pr) })
+}
+
+func (n *Node) onRemoteTimeout(pr *pendingRemote) {
+	if n.remote[pr.reqID] != pr {
+		return
+	}
+	if pr.attempts <= n.cfg.RemoteRetries {
+		n.sendRemote(pr)
+		return
+	}
+	delete(n.remote, pr.reqID)
+	n.stats.RemoteFail++
+	if pr.rec == nil {
+		if pr.done != nil {
+			pr.done(wire.RemoteReply{ReqID: pr.reqID, OK: false})
+		}
+		return
+	}
+	if n.trace != nil && n.trace.RemoteDone != nil {
+		n.trace.RemoteDone(n.loc, pr.rec.agent.ID, pr.kind, pr.dest, false, n.sim.Now()-pr.started)
+	}
+	// "Only probing operations are provided to prevent an agent from
+	// blocking forever due to message loss" (§2.2): a lost operation
+	// simply clears the condition code.
+	n.resumeAgent(pr.rec, 0)
+}
+
+// serveRemoteRequest is the responder side: perform the operation on the
+// local tuple space and send the result back (§3.2).
+func (n *Node) serveRemoteRequest(env wire.Envelope) {
+	req, err := wire.DecodeRemoteRequest(env.Body)
+	if err != nil {
+		return
+	}
+	reply := n.performRemote(req)
+	_ = n.net.SendRouted(req.ReplyTo, radio.KindRemoteTSR, reply.Encode())
+}
+
+func (n *Node) performRemote(req wire.RemoteRequest) wire.RemoteReply {
+	reply := wire.RemoteReply{ReqID: req.ReqID}
+	switch req.Op {
+	case wire.OpRout:
+		reply.OK = n.space.Out(req.Tuple) == nil
+	case wire.OpRinp:
+		t, ok := n.space.Inp(req.Template)
+		reply.OK, reply.Tuple = ok, t
+	case wire.OpRrdp:
+		t, ok := n.space.Rdp(req.Template)
+		reply.OK, reply.Tuple = ok, t
+	}
+	return reply
+}
+
+// recvRemoteReply matches a reply to its pending request and resumes the
+// initiating agent.
+func (n *Node) recvRemoteReply(env wire.Envelope) {
+	reply, err := wire.DecodeRemoteReply(env.Body)
+	if err != nil {
+		return
+	}
+	pr, ok := n.remote[reply.ReqID]
+	if !ok {
+		return // duplicate or late reply
+	}
+	delete(n.remote, pr.reqID)
+	if pr.timer != nil {
+		pr.timer.Cancel()
+		pr.timer = nil
+	}
+	n.settleRemote(pr, reply)
+}
+
+// settleRemote applies a reply to the suspended agent: "If the operation is
+// successful, the resulting tuple is placed onto the stack and the
+// condition is set to 1" (§3.4).
+func (n *Node) settleRemote(pr *pendingRemote, reply wire.RemoteReply) {
+	if reply.OK {
+		n.stats.RemoteOK++
+	} else {
+		n.stats.RemoteFail++
+	}
+	if pr.rec == nil {
+		if pr.done != nil {
+			pr.done(reply)
+		}
+		return
+	}
+	if n.trace != nil && n.trace.RemoteDone != nil {
+		n.trace.RemoteDone(n.loc, pr.rec.agent.ID, pr.kind, pr.dest, reply.OK, n.sim.Now()-pr.started)
+	}
+	cond := int16(0)
+	if reply.OK {
+		cond = 1
+		if pr.kind == vm.RemoteInp || pr.kind == vm.RemoteRdp {
+			if err := pr.rec.agent.PushFields(reply.Tuple.Fields); err != nil {
+				n.killAgent(pr.rec, err)
+				return
+			}
+		}
+	}
+	n.resumeAgent(pr.rec, cond)
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"time"
+
+	"github.com/agilla-go/agilla/internal/topology"
+	"github.com/agilla-go/agilla/internal/tuplespace"
+	"github.com/agilla-go/agilla/internal/vm"
+	"github.com/agilla-go/agilla/internal/wire"
+)
+
+// Trace observes middleware events across all nodes. The experiment harness
+// uses it to measure reliability and latency without instrumenting the
+// protocol code. All fields are optional.
+type Trace struct {
+	// AgentArrived fires when an agent materializes on a node: injection,
+	// completed move, or clone instantiation.
+	AgentArrived func(node topology.Location, id uint16, kind wire.MigKind, from topology.Location)
+	// AgentHalted fires when an agent executes halt.
+	AgentHalted func(node topology.Location, id uint16)
+	// AgentDied fires when an agent dies with an error.
+	AgentDied func(node topology.Location, id uint16, err error)
+	// MigrationStarted fires on the sender when a transfer begins
+	// (once per hop).
+	MigrationStarted func(node topology.Location, id uint16, kind wire.MigKind, dest topology.Location)
+	// MigrationDone fires on the sender when the hop transfer concludes.
+	MigrationDone func(node topology.Location, id uint16, kind wire.MigKind, dest topology.Location, ok bool)
+	// RemoteDone fires on the initiator when a remote tuple space
+	// operation resolves (reply received or timed out).
+	RemoteDone func(node topology.Location, id uint16, kind vm.RemoteKind, dest topology.Location, ok bool, elapsed time.Duration)
+	// TupleOut fires on every successful local tuple insertion.
+	TupleOut func(node topology.Location, t tuplespace.Tuple)
+	// InstrExecuted fires after every instruction.
+	InstrExecuted func(node topology.Location, id uint16, op vm.Op)
+}
+
+// NodeStats counts per-node middleware activity.
+type NodeStats struct {
+	InstrExecuted   uint64
+	AgentsHosted    uint64 // arrivals + local creations over all time
+	AgentsHalted    uint64
+	AgentsDied      uint64
+	MigrationsOut   uint64 // hop transfers initiated
+	MigrationsOK    uint64
+	MigrationsFail  uint64
+	RemoteInitiated uint64
+	RemoteOK        uint64
+	RemoteFail      uint64
+	ReactionsFired  uint64
+}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The experiment tests run in Quick mode (reduced trials) and assert the
+// qualitative shape of each paper artifact — who wins, roughly by what
+// factor, where the classes fall — rather than exact numbers.
+
+func TestFig9and10Shape(t *testing.T) {
+	r, err := Fig9and10(Config{Trials: 25, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Smove) != 5 || len(r.Rout) != 5 {
+		t.Fatalf("want 5 hop points each, got %d/%d", len(r.Smove), len(r.Rout))
+	}
+	// Figure 9 shape: both operations reliable at one hop; smove at least
+	// as reliable as rout at distance (hop-by-hop retransmission wins).
+	if r.Smove[0].Reliability.Rate() < 0.85 {
+		t.Errorf("1-hop smove reliability %.2f too low", r.Smove[0].Reliability.Rate())
+	}
+	if r.Rout[0].Reliability.Rate() < 0.85 {
+		t.Errorf("1-hop rout reliability %.2f too low", r.Rout[0].Reliability.Rate())
+	}
+	if s, ro := r.Smove[4].Reliability.Rate(), r.Rout[4].Reliability.Rate(); s+0.10 < ro {
+		t.Errorf("5-hop smove (%.2f) should not trail rout (%.2f)", s, ro)
+	}
+	// Figure 10 shape: rout ≈55ms/hop and much cheaper than smove; both
+	// scale linearly; 5-hop migration under ~1.2s.
+	r1, r5 := r.Rout[0].Latency.Mean(), r.Rout[4].Latency.Mean()
+	if r1 < 40 || r1 > 75 {
+		t.Errorf("1-hop rout latency %.1fms, want ~55ms", r1)
+	}
+	if ratio := r5 / r1; ratio < 4 || ratio > 6.5 {
+		t.Errorf("rout latency not linear in hops: %.1f/%.1f", r5, r1)
+	}
+	s1, s5 := r.Smove[0].Latency.Mean(), r.Smove[4].Latency.Mean()
+	if s1 < 150 || s1 > 320 {
+		t.Errorf("1-hop smove latency %.1fms, want ~225ms", s1)
+	}
+	if s5 > 1250 {
+		t.Errorf("5-hop smove latency %.1fms, paper reports <1.1s", s5)
+	}
+	if s1 < 3*r1 {
+		t.Errorf("smove (%.1f) should cost several times rout (%.1f) per hop", s1, r1)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	r, err := Fig11(Config{Trials: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remote tuple space ops ≈55ms; migrations several times slower.
+	for _, op := range []string{"rout", "rinp", "rrdp"} {
+		m := r.Latency[op].Mean()
+		if m < 40 || m > 80 {
+			t.Errorf("%s mean %.1fms, want ~55ms", op, m)
+		}
+	}
+	for _, op := range []string{"smove", "wmove", "sclone", "wclone"} {
+		m := r.Latency[op].Mean()
+		if m < 150 || m > 400 {
+			t.Errorf("%s mean %.1fms, want ~225ms", op, m)
+		}
+		if m < 2.5*r.Latency["rout"].Mean() {
+			t.Errorf("%s (%.1fms) should dwarf rout", op, m)
+		}
+	}
+	// §4: "migration operations have higher variance" (retransmit timers).
+	if r.Latency["smove"].Std() <= r.Latency["rout"].Std() {
+		t.Errorf("smove σ=%.2f should exceed rout σ=%.2f",
+			r.Latency["smove"].Std(), r.Latency["rout"].Std())
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r, err := Fig12(Config{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOp := map[string]time.Duration{}
+	for _, p := range r.Points {
+		byOp[p.Op] = p.Mean
+	}
+	// The three classes of §4.
+	for _, op := range []string{"loc", "aid", "numnbrs"} {
+		if m := byOp[op]; m < 60*time.Microsecond || m > 100*time.Microsecond {
+			t.Errorf("%s = %v, want ~75µs", op, m)
+		}
+	}
+	for _, op := range []string{"pushn", "pushloc", "regrxn", "randnbr"} {
+		if m := byOp[op]; m < 110*time.Microsecond || m > 200*time.Microsecond {
+			t.Errorf("%s = %v, want ~150µs", op, m)
+		}
+	}
+	var tsSum time.Duration
+	tsOps := []string{"out", "inp", "rdp", "in", "rd", "tcount"}
+	for _, op := range tsOps {
+		tsSum += byOp[op]
+	}
+	if avg := tsSum / time.Duration(len(tsOps)); avg < 250*time.Microsecond || avg > 330*time.Microsecond {
+		t.Errorf("tuple space class mean %v, want ~292µs", avg)
+	}
+	// §4: blocking ops exceed non-blocking; in exceeds rd.
+	if byOp["in"] <= byOp["inp"] || byOp["rd"] <= byOp["rdp"] {
+		t.Error("blocking ops must cost more than their probing forms")
+	}
+	if byOp["in"] <= byOp["rd"] {
+		t.Error("in must cost more than rd (it mutates the space)")
+	}
+}
+
+func TestFig5SizesMatchPaper(t *testing.T) {
+	r, err := Fig5Sizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"State": 20, "Code": 28, "Heap": 32, "Stack": 30, "Reaction": 36}
+	for _, row := range r.Rows {
+		if row.Size != want[row.Type] {
+			t.Errorf("%s = %d bytes, want %d", row.Type, row.Size, want[row.Type])
+		}
+	}
+}
+
+func TestMemoryMatchesPaper(t *testing.T) {
+	r := Memory()
+	if r.Total != r.PaperData {
+		t.Errorf("modelled SRAM %d, want %d (3.59KB)", r.Total, r.PaperData)
+	}
+	if !strings.Contains(r.String(), "3.59KB") {
+		t.Errorf("report missing headline figure:\n%s", r)
+	}
+}
+
+func TestSpeedShape(t *testing.T) {
+	r, err := Speed(Config{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: one hop every ~0.3s → ~600km/h at 50m range. Our per-hop
+	// turnaround tracks the Figure 11 smove latency.
+	if r.PerHop < 150*time.Millisecond || r.PerHop > 400*time.Millisecond {
+		t.Errorf("per-hop period %v, want 0.15-0.4s", r.PerHop)
+	}
+	if r.SpeedKmh < 400 || r.SpeedKmh > 1300 {
+		t.Errorf("tracking speed %.0fkm/h, want same order as the paper's 600", r.SpeedKmh)
+	}
+}
+
+func TestCaseStudyCompletes(t *testing.T) {
+	r, err := CaseStudy(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DetectorsDeployed < 20 {
+		t.Fatalf("only %d detectors deployed", r.DetectorsDeployed)
+	}
+	if !r.Detected {
+		t.Fatal("fire was never detected or tracked")
+	}
+	if lat := r.DetectedAt - r.IgnitedAt; lat > time.Minute {
+		t.Errorf("detection latency %v too slow", lat)
+	}
+	if r.Trackers == 0 {
+		t.Error("no tracker swarm formed")
+	}
+	if r.PerimeterCells > 0 && r.PerimeterCovered*2 < r.PerimeterCells {
+		t.Errorf("perimeter coverage %d/%d below half", r.PerimeterCovered, r.PerimeterCells)
+	}
+}
+
+func TestMateCompareShape(t *testing.T) {
+	r, err := MateCompare(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(r.Rows))
+	}
+	single := map[string]MateRow{}
+	for _, row := range r.Rows {
+		if row.Scenario == "single-node task" {
+			single[row.System] = row
+		}
+	}
+	agilla, mate := single["Agilla (inject)"], single["Mate (flood)"]
+	// The paper's §5 point, quantified: targeted injection touches one
+	// node with a fraction of the traffic; flooding reprograms everyone.
+	if agilla.Nodes != 1 {
+		t.Errorf("Agilla injection changed %d nodes, want 1", agilla.Nodes)
+	}
+	if mate.Nodes != 25 {
+		t.Errorf("Mate flood changed %d nodes, want 25", mate.Nodes)
+	}
+	if agilla.Frames >= mate.Frames {
+		t.Errorf("Agilla injection (%d frames) should beat flooding (%d)", agilla.Frames, mate.Frames)
+	}
+}
+
+func TestAblationLossModelShape(t *testing.T) {
+	r, err := AblationLossModel(Config{Trials: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(r.Rows))
+	}
+	ge, bern := r.Rows[0], r.Rows[1]
+	// Bernoulli loss at the same marginal rate must not be less reliable
+	// at 5 hops: bursts are what defeat retransmission.
+	if bern.Rate[5]+0.05 < ge.Rate[5] {
+		t.Errorf("Bernoulli (%.2f) should be at least as reliable as GE (%.2f) at 5 hops",
+			bern.Rate[5], ge.Rate[5])
+	}
+}
+
+func TestAblationRetriesShape(t *testing.T) {
+	r, err := AblationRetries(Config{Trials: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(r.Rows))
+	}
+	// More retries must not hurt 5-hop reliability materially.
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if last.Rate[5]+0.10 < first.Rate[5] {
+		t.Errorf("retries=8 (%.2f) should beat retries=1 (%.2f)", last.Rate[5], first.Rate[5])
+	}
+}
+
+func TestAblationEndToEndRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long ablation")
+	}
+	r, err := AblationEndToEnd(Config{Trials: 15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 9 {
+		t.Fatalf("want 9 rows, got %d", len(r.Rows))
+	}
+	// The naive 0.1s-timer variant pays for its "reliability" with far
+	// more traffic than hop-by-hop at every loss level.
+	if naive, hbh := r.Rows[2], r.Rows[0]; naive.Frames[5] < hbh.Frames[5] {
+		t.Errorf("naive e2e frames (%d) should exceed hop-by-hop (%d)",
+			naive.Frames[5], hbh.Frames[5])
+	}
+}
+
+func TestResultStringsRender(t *testing.T) {
+	f5, err := Fig5Sizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{f5.String(), Memory().String()} {
+		if len(s) < 50 || !strings.Contains(s, "\n") {
+			t.Errorf("suspicious report rendering:\n%s", s)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/agilla-go/agilla/internal/agents"
+	"github.com/agilla-go/agilla/internal/core"
+	"github.com/agilla-go/agilla/internal/stats"
+	"github.com/agilla-go/agilla/internal/topology"
+	"github.com/agilla-go/agilla/internal/tuplespace"
+	"github.com/agilla-go/agilla/internal/vm"
+	"github.com/agilla-go/agilla/internal/wire"
+)
+
+// Fig11Ops is the operation order of Figure 11.
+var Fig11Ops = []string{"rout", "rinp", "rrdp", "smove", "wmove", "sclone", "wclone"}
+
+// Fig11Result is the one-hop latency of each remote tuple space and agent
+// migration instruction.
+type Fig11Result struct {
+	Latency map[string]*stats.Series // ms
+}
+
+// Fig11 times each remote operation 100 times across one hop, from (1,1)
+// to (2,1), as §4 does ("we found the one-hop execution time of all these
+// instructions by timing each 100 times and finding the average").
+func Fig11(cfg Config) (*Fig11Result, error) {
+	cfg = cfg.withDefaults()
+	node := core.Config{RemoteRetries: -1}
+	d, err := newTestbed(cfg.Seed, node, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.WarmUp(); err != nil {
+		return nil, err
+	}
+
+	res := &Fig11Result{Latency: make(map[string]*stats.Series, len(Fig11Ops))}
+	src := d.Node(topology.Loc(1, 1))
+	target := topology.Loc(2, 1)
+
+	for _, op := range Fig11Ops {
+		series := &stats.Series{}
+		res.Latency[op] = series
+		code, err := agents.OneHopOp(op, target)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < cfg.Trials; i++ {
+			if err := runOneHopTrial(d, src, target, op, code, series); err != nil {
+				return nil, fmt.Errorf("%s trial %d: %w", op, i, err)
+			}
+		}
+	}
+	return res, nil
+}
+
+func runOneHopTrial(d *core.Deployment, src *core.Node, target topology.Location, op string, code []byte, series *stats.Series) error {
+	// rinp/rrdp need something to find.
+	if op == "rinp" || op == "rrdp" {
+		if err := d.Node(target).Space().Out(tuplespace.T(tuplespace.Int(1))); err != nil {
+			return err
+		}
+	}
+
+	var resolved bool
+	var elapsed time.Duration
+	var started time.Duration
+	switch op {
+	case "rout", "rinp", "rrdp":
+		d.Trace.RemoteDone = func(_ topology.Location, _ uint16, _ vm.RemoteKind, dest topology.Location, ok bool, dt time.Duration) {
+			if dest == target && !resolved {
+				resolved = true
+				if ok {
+					elapsed = dt
+				}
+			}
+		}
+	default:
+		d.Trace.MigrationStarted = func(node topology.Location, _ uint16, _ wire.MigKind, dest topology.Location) {
+			if dest == target && started == 0 {
+				started = d.Sim.Now()
+			}
+		}
+		d.Trace.AgentArrived = func(node topology.Location, _ uint16, kind wire.MigKind, _ topology.Location) {
+			if node == target && kind != wire.MigInject && !resolved {
+				resolved = true
+				elapsed = d.Sim.Now() - started
+			}
+		}
+	}
+
+	if _, err := src.CreateAgent(code); err != nil {
+		return err
+	}
+	if _, err := d.Sim.RunUntil(func() bool { return resolved }, d.Sim.Now()+10*time.Second); err != nil {
+		return err
+	}
+	if resolved && elapsed > 0 {
+		series.AddDuration(elapsed)
+	}
+	d.Trace.RemoteDone = nil
+	d.Trace.MigrationStarted = nil
+	d.Trace.AgentArrived = nil
+	purgeAgents(d)
+	purgeValueTuples(d)
+	return settle(d, 300*time.Millisecond)
+}
+
+// String renders the Figure 11 bars as a table.
+func (r *Fig11Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 11 — one-hop latency of remote operations (ms)\n")
+	t := stats.NewTable("Opcode", "Mean", "Std", "Min", "Max", "n")
+	for _, op := range Fig11Ops {
+		s := r.Latency[op]
+		t.AddRow(op,
+			fmt.Sprintf("%.1f", s.Mean()),
+			fmt.Sprintf("%.1f", s.Std()),
+			fmt.Sprintf("%.1f", s.Min()),
+			fmt.Sprintf("%.1f", s.Max()),
+			s.N())
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}

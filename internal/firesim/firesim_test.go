@@ -1,0 +1,189 @@
+package firesim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/agilla-go/agilla/internal/topology"
+	"github.com/agilla-go/agilla/internal/tuplespace"
+)
+
+func TestNoFireReadsAmbient(t *testing.T) {
+	f := New(time.Second, nil)
+	if v := f.Sample(topology.Loc(3, 3), tuplespace.SensorTemperature, time.Hour); v != AmbientTemp {
+		t.Errorf("ambient = %d, want %d", v, AmbientTemp)
+	}
+	if f.Burning(topology.Loc(3, 3), time.Hour) {
+		t.Error("nothing should burn without ignition")
+	}
+}
+
+func TestIgnitionBurnsImmediately(t *testing.T) {
+	f := New(time.Minute, nil)
+	f.Ignite(topology.Loc(3, 3), 10*time.Second)
+
+	if f.Burning(topology.Loc(3, 3), 9*time.Second) {
+		t.Error("burning before ignition time")
+	}
+	if !f.Burning(topology.Loc(3, 3), 10*time.Second) {
+		t.Error("not burning at ignition time")
+	}
+	if v := f.Sample(topology.Loc(3, 3), tuplespace.SensorTemperature, 10*time.Second); v != BurnTemp {
+		t.Errorf("burn temperature = %d, want %d", v, BurnTemp)
+	}
+}
+
+func TestSpreadIsManhattanMetric(t *testing.T) {
+	f := New(time.Minute, nil)
+	f.Ignite(topology.Loc(3, 3), 0)
+
+	cases := []struct {
+		loc  topology.Location
+		want time.Duration
+	}{
+		{topology.Loc(4, 3), time.Minute},
+		{topology.Loc(3, 5), 2 * time.Minute},
+		{topology.Loc(5, 5), 4 * time.Minute},
+		{topology.Loc(1, 1), 4 * time.Minute},
+	}
+	for _, tc := range cases {
+		at, ok := f.IgnitionTime(tc.loc)
+		if !ok || at != tc.want {
+			t.Errorf("IgnitionTime(%v) = %v,%v; want %v", tc.loc, at, ok, tc.want)
+		}
+	}
+}
+
+func TestSpreadMonotonic(t *testing.T) {
+	// Property: once burning, always burning; the burning set only grows.
+	f := New(30*time.Second, nil)
+	f.Ignite(topology.Loc(2, 2), 0)
+	b := GridBounds(5, 5)
+	prev := 0
+	for step := 0; step <= 10; step++ {
+		now := time.Duration(step) * 30 * time.Second
+		cells := f.BurningCells(now, &b)
+		if len(cells) < prev {
+			t.Fatalf("burning set shrank at %v: %d -> %d", now, prev, len(cells))
+		}
+		prev = len(cells)
+	}
+	if prev != 25 {
+		t.Errorf("fire did not engulf the grid: %d cells", prev)
+	}
+}
+
+func TestMultipleIgnitions(t *testing.T) {
+	f := New(time.Minute, nil)
+	f.Ignite(topology.Loc(1, 1), 0)
+	f.Ignite(topology.Loc(5, 5), 0)
+	// (3,3) is 4 hops from either source.
+	at, ok := f.IgnitionTime(topology.Loc(3, 3))
+	if !ok || at != 4*time.Minute {
+		t.Errorf("two-front ignition = %v,%v", at, ok)
+	}
+}
+
+func TestReigniteEarlierWins(t *testing.T) {
+	f := New(time.Minute, nil)
+	f.Ignite(topology.Loc(1, 1), time.Hour)
+	f.Ignite(topology.Loc(1, 1), time.Second) // earlier
+	f.Ignite(topology.Loc(1, 1), 2*time.Hour) // later: no-op
+	at, _ := f.IgnitionTime(topology.Loc(1, 1))
+	if at != time.Second {
+		t.Errorf("ignition time = %v, want 1s", at)
+	}
+}
+
+func TestBoundsClipSpread(t *testing.T) {
+	b := GridBounds(3, 3)
+	f := New(time.Minute, &b)
+	f.Ignite(topology.Loc(2, 2), 0)
+	if _, ok := f.IgnitionTime(topology.Loc(9, 9)); ok {
+		t.Error("fire escaped the bounds")
+	}
+	if v := f.Sample(topology.Loc(9, 9), tuplespace.SensorTemperature, time.Hour); v != AmbientTemp {
+		t.Errorf("out-of-bounds temperature = %d", v)
+	}
+}
+
+func TestTemperatureGradient(t *testing.T) {
+	f := New(time.Hour, nil) // no spread within the test window
+	f.Ignite(topology.Loc(3, 3), 0)
+	now := time.Second
+	got := []int16{
+		f.Sample(topology.Loc(3, 3), tuplespace.SensorTemperature, now),
+		f.Sample(topology.Loc(4, 3), tuplespace.SensorTemperature, now),
+		f.Sample(topology.Loc(5, 3), tuplespace.SensorTemperature, now),
+		f.Sample(topology.Loc(6, 3), tuplespace.SensorTemperature, now),
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] >= got[i-1] {
+			t.Errorf("temperature not decreasing with distance: %v", got)
+		}
+	}
+	// The Figure 13 threshold detects exactly the burning cell.
+	if got[0] <= 200 {
+		t.Error("burning cell must exceed the 200 threshold")
+	}
+	if got[1] > 200 {
+		t.Error("adjacent cell must stay below the 200 threshold")
+	}
+}
+
+func TestSmokeMirrorsFire(t *testing.T) {
+	f := New(time.Minute, nil)
+	f.Ignite(topology.Loc(1, 1), 0)
+	if v := f.Sample(topology.Loc(1, 1), tuplespace.SensorSmoke, time.Second); v != 1 {
+		t.Errorf("smoke at flame = %d, want 1", v)
+	}
+	if v := f.Sample(topology.Loc(5, 5), tuplespace.SensorSmoke, time.Second); v != 0 {
+		t.Errorf("smoke far away = %d, want 0", v)
+	}
+}
+
+func TestPerimeterSurroundsFire(t *testing.T) {
+	b := GridBounds(5, 5)
+	f := New(time.Minute, &b)
+	f.Ignite(topology.Loc(3, 3), 0)
+
+	// At t=0 only (3,3) burns; its perimeter is its 4 neighbors.
+	p := f.Perimeter(0, b)
+	if len(p) != 4 {
+		t.Fatalf("perimeter = %v, want 4 cells", p)
+	}
+	for _, l := range p {
+		if l.GridHops(topology.Loc(3, 3)) != 1 {
+			t.Errorf("perimeter cell %v not adjacent to the flame", l)
+		}
+	}
+	// After one spread step the ball has radius 1; the perimeter is the
+	// 8 cells at Manhattan distance 2 clipped to the grid.
+	p = f.Perimeter(time.Minute, b)
+	for _, l := range p {
+		if f.Burning(l, time.Minute) {
+			t.Errorf("perimeter cell %v is burning", l)
+		}
+	}
+	if len(p) != 8 {
+		t.Errorf("radius-1 perimeter = %d cells, want 8", len(p))
+	}
+}
+
+func TestExtinguish(t *testing.T) {
+	f := New(time.Minute, nil)
+	f.Ignite(topology.Loc(1, 1), 0)
+	f.Extinguish()
+	if f.Burning(topology.Loc(1, 1), time.Hour) {
+		t.Error("fire survived Extinguish")
+	}
+}
+
+func TestBurningCellsNoBounds(t *testing.T) {
+	f := New(time.Minute, nil)
+	f.Ignite(topology.Loc(2, 2), 0)
+	cells := f.BurningCells(time.Minute, nil)
+	if len(cells) != 5 { // center + 4 neighbors
+		t.Errorf("burning cells = %v, want 5", cells)
+	}
+}

@@ -1,0 +1,324 @@
+// Package network implements Agilla's network stack on top of the radio:
+// one-hop neighbor discovery with beacons, the acquaintance list agents read
+// through numnbrs/getnbr/randnbr (§2.2, §3.2 Context Manager), and the
+// best-effort greedy geographic forwarding the paper uses for multi-hop
+// routing (§4: "a simple best-effort greedy-forwarding algorithm that
+// forwards messages to the neighbor closest to the destination").
+package network
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/agilla-go/agilla/internal/radio"
+	"github.com/agilla-go/agilla/internal/sim"
+	"github.com/agilla-go/agilla/internal/topology"
+	"github.com/agilla-go/agilla/internal/wire"
+)
+
+// Neighbor is one acquaintance-list entry.
+type Neighbor struct {
+	Loc       topology.Location
+	LastHeard time.Duration
+	NumAgents uint8
+}
+
+// AcquaintanceList is the continuously-updated one-hop neighbor table
+// (§2.2: "The one-hop neighbor information is stored in an acquaintance
+// list and is continuously updated by Agilla").
+//
+// The zero value is not usable; construct with NewAcquaintanceList.
+type AcquaintanceList struct {
+	expireAfter time.Duration
+	entries     map[topology.Location]*Neighbor
+}
+
+// NewAcquaintanceList creates a list whose entries expire when no beacon is
+// heard for expireAfter.
+func NewAcquaintanceList(expireAfter time.Duration) *AcquaintanceList {
+	return &AcquaintanceList{
+		expireAfter: expireAfter,
+		entries:     make(map[topology.Location]*Neighbor),
+	}
+}
+
+// Update records a beacon heard from loc at virtual time now.
+func (a *AcquaintanceList) Update(loc topology.Location, now time.Duration, numAgents uint8) {
+	if e, ok := a.entries[loc]; ok {
+		e.LastHeard = now
+		e.NumAgents = numAgents
+		return
+	}
+	a.entries[loc] = &Neighbor{Loc: loc, LastHeard: now, NumAgents: numAgents}
+}
+
+// Expire drops entries not heard from since now-expireAfter.
+func (a *AcquaintanceList) Expire(now time.Duration) {
+	for loc, e := range a.entries {
+		if now-e.LastHeard > a.expireAfter {
+			delete(a.entries, loc)
+		}
+	}
+}
+
+// Len returns the number of live neighbors.
+func (a *AcquaintanceList) Len() int { return len(a.entries) }
+
+// Neighbors returns the live entries sorted by location (Y then X), so that
+// getnbr indices are deterministic.
+func (a *AcquaintanceList) Neighbors() []Neighbor {
+	out := make([]Neighbor, 0, len(a.entries))
+	for _, e := range a.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Loc.Y != out[j].Loc.Y {
+			return out[i].Loc.Y < out[j].Loc.Y
+		}
+		return out[i].Loc.X < out[j].Loc.X
+	})
+	return out
+}
+
+// At returns the i-th neighbor in Neighbors() order.
+func (a *AcquaintanceList) At(i int) (Neighbor, bool) {
+	ns := a.Neighbors()
+	if i < 0 || i >= len(ns) {
+		return Neighbor{}, false
+	}
+	return ns[i], true
+}
+
+// Contains reports whether loc is a live neighbor.
+func (a *AcquaintanceList) Contains(loc topology.Location) bool {
+	_, ok := a.entries[loc]
+	return ok
+}
+
+// Config tunes the stack. Zero fields select defaults.
+type Config struct {
+	// BeaconEvery is the neighbor-discovery beacon period.
+	BeaconEvery time.Duration
+	// ExpireAfter drops neighbors not heard from for this long.
+	ExpireAfter time.Duration
+	// TTL bounds routed-envelope forwarding.
+	TTL uint8
+}
+
+// Defaults for Config.
+const (
+	DefaultBeaconEvery = 2 * time.Second
+	DefaultExpireAfter = 7 * time.Second
+	DefaultTTL         = 16
+)
+
+func (c Config) withDefaults() Config {
+	if c.BeaconEvery <= 0 {
+		c.BeaconEvery = DefaultBeaconEvery
+	}
+	if c.ExpireAfter <= 0 {
+		c.ExpireAfter = DefaultExpireAfter
+	}
+	if c.TTL == 0 {
+		c.TTL = DefaultTTL
+	}
+	return c
+}
+
+// Stats counts stack activity.
+type Stats struct {
+	BeaconsSent  uint64
+	Forwarded    uint64 // routed envelopes relayed for other nodes
+	Originated   uint64 // routed envelopes this node created
+	DeliveredUp  uint64 // envelopes delivered to the local node
+	RouteStalls  uint64 // envelopes dropped: no neighbor closer to dest
+	TTLExceeded  uint64 // envelopes dropped: TTL exhausted
+	DirectFrames uint64 // one-hop frames sent on behalf of upper layers
+}
+
+// Stack is one node's network layer. It owns beaconing, the acquaintance
+// list, and greedy forwarding. Upper layers (internal/core) receive
+// non-routing traffic through the handlers below.
+//
+// Construct with NewStack; not safe for concurrent use (the simulation is
+// single-threaded).
+type Stack struct {
+	sim    *sim.Sim
+	medium *radio.Medium
+	self   topology.Location
+	cfg    Config
+	acq    *AcquaintanceList
+	stats  Stats
+
+	started bool
+	stopped bool
+
+	// DeliverRouted receives envelope payloads whose final destination is
+	// this node (remote tuple space requests and replies).
+	DeliverRouted func(kind uint8, env wire.Envelope)
+	// DeliverDirect receives non-beacon, non-routed frames (migration data
+	// and control, which run their own hop-by-hop protocol).
+	DeliverDirect func(f radio.Frame)
+	// NumAgents supplies the beacon's co-located agent count.
+	NumAgents func() int
+}
+
+// NewStack attaches a network layer for a node at self.
+func NewStack(s *sim.Sim, medium *radio.Medium, self topology.Location, cfg Config) *Stack {
+	cfg = cfg.withDefaults()
+	return &Stack{
+		sim:    s,
+		medium: medium,
+		self:   self,
+		cfg:    cfg,
+		acq:    NewAcquaintanceList(cfg.ExpireAfter),
+	}
+}
+
+// Self returns this node's location.
+func (st *Stack) Self() topology.Location { return st.self }
+
+// Acquaintances returns the neighbor table.
+func (st *Stack) Acquaintances() *AcquaintanceList { return st.acq }
+
+// Stats returns a snapshot of the stack counters.
+func (st *Stack) Stats() Stats { return st.stats }
+
+// Start begins periodic beaconing. The first beacon goes out after a random
+// fraction of the period so co-deployed nodes do not synchronize.
+func (st *Stack) Start() {
+	if st.started {
+		return
+	}
+	st.started = true
+	offset := time.Duration(st.sim.Rand().Int63n(int64(st.cfg.BeaconEvery)))
+	st.sim.Schedule(offset, st.beaconTick)
+}
+
+// Stop halts future beacons (the mote died).
+func (st *Stack) Stop() { st.stopped = true }
+
+func (st *Stack) beaconTick() {
+	if st.stopped {
+		return
+	}
+	st.SendBeacon()
+	st.acq.Expire(st.sim.Now())
+	st.sim.Schedule(st.cfg.BeaconEvery, st.beaconTick)
+}
+
+// SendBeacon broadcasts one neighbor-discovery beacon immediately.
+func (st *Stack) SendBeacon() {
+	n := 0
+	if st.NumAgents != nil {
+		n = st.NumAgents()
+	}
+	if n > 255 {
+		n = 255
+	}
+	st.stats.BeaconsSent++
+	st.medium.Send(radio.Frame{
+		Src:     st.self,
+		Dst:     radio.Broadcast,
+		Kind:    radio.KindBeacon,
+		Payload: wire.Beacon{NumAgents: uint8(n)}.Encode(),
+	})
+}
+
+// HandleFrame is the radio receive path; core wires the mote's
+// radio.Receiver here.
+func (st *Stack) HandleFrame(f radio.Frame) {
+	switch f.Kind {
+	case radio.KindBeacon:
+		b, err := wire.DecodeBeacon(f.Payload)
+		if err != nil {
+			return // corrupt beacon: ignore
+		}
+		st.acq.Update(f.Src, st.sim.Now(), b.NumAgents)
+	case radio.KindRemoteTS, radio.KindRemoteTSR:
+		env, err := wire.DecodeEnvelope(f.Payload)
+		if err != nil {
+			return
+		}
+		st.routeOrDeliver(f.Kind, env)
+	default:
+		if st.DeliverDirect != nil {
+			st.DeliverDirect(f)
+		}
+	}
+}
+
+// SendDirect transmits a one-hop frame to a direct neighbor. The migration
+// protocol uses this and supplies its own acknowledgments.
+func (st *Stack) SendDirect(to topology.Location, kind uint8, payload []byte) {
+	st.stats.DirectFrames++
+	st.medium.Send(radio.Frame{Src: st.self, Dst: to, Kind: kind, Payload: payload})
+}
+
+// ErrNoRoute is returned when greedy forwarding cannot make progress.
+var ErrNoRoute = fmt.Errorf("network: no neighbor closer to destination")
+
+// SendRouted originates an envelope toward dst using greedy geographic
+// forwarding. If dst is this node the payload is delivered locally (via
+// DeliverRouted) without touching the radio.
+func (st *Stack) SendRouted(dst topology.Location, kind uint8, body []byte) error {
+	env := wire.Envelope{Src: st.self, Dst: dst, TTL: st.cfg.TTL, Kind: kind, Body: body}
+	st.stats.Originated++
+	if dst == st.self {
+		st.stats.DeliveredUp++
+		if st.DeliverRouted != nil {
+			st.DeliverRouted(kind, env)
+		}
+		return nil
+	}
+	return st.forward(kind, env)
+}
+
+func (st *Stack) routeOrDeliver(kind uint8, env wire.Envelope) {
+	if env.Dst == st.self {
+		st.stats.DeliveredUp++
+		if st.DeliverRouted != nil {
+			st.DeliverRouted(kind, env)
+		}
+		return
+	}
+	if env.TTL == 0 {
+		st.stats.TTLExceeded++
+		return
+	}
+	env.TTL--
+	st.stats.Forwarded++
+	if err := st.forward(kind, env); err != nil {
+		st.stats.RouteStalls++
+	}
+}
+
+func (st *Stack) forward(kind uint8, env wire.Envelope) error {
+	hop, ok := st.NextHop(env.Dst)
+	if !ok {
+		st.stats.RouteStalls++
+		return fmt.Errorf("%w: %v -> %v", ErrNoRoute, st.self, env.Dst)
+	}
+	st.medium.Send(radio.Frame{Src: st.self, Dst: hop, Kind: kind, Payload: env.Encode()})
+	return nil
+}
+
+// NextHop picks the neighbor strictly closer to dst than this node, nearest
+// first; ties break toward the lower (Y,X) neighbor for determinism. If dst
+// is itself a live neighbor it is always chosen.
+func (st *Stack) NextHop(dst topology.Location) (topology.Location, bool) {
+	if st.acq.Contains(dst) {
+		return dst, true
+	}
+	self := st.self.Dist(dst)
+	best := topology.Location{}
+	bestDist := self
+	found := false
+	for _, n := range st.acq.Neighbors() {
+		if d := n.Loc.Dist(dst); d < bestDist {
+			best, bestDist, found = n.Loc, d, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,288 @@
+// Package radio models the Chipcon CC1000 radio of the MICA2 mote and the
+// shared wireless medium of the paper's 25-mote testbed.
+//
+// The model has two parts:
+//
+//   - A latency model: every frame occupies the channel for its airtime at
+//     38.4 kbps plus a calibrated per-frame MAC/processing overhead. The
+//     overhead constant is what calibrates one-hop remote tuple space
+//     operations to the ≈55 ms the paper measures (Figure 11).
+//
+//   - A loss model: each directed link runs an independent Gilbert–Elliott
+//     two-state Markov chain. Indoor CC1000 loss is bursty (Zhao &
+//     Govindan, SenSys'03 — the paper's reference [25]); burst loss is what
+//     makes hop-by-hop retransmission fail often enough to reproduce the
+//     92%-at-5-hops migration reliability of Figure 9. Independent
+//     Bernoulli loss would make retransmission nearly perfect and flatten
+//     the figure.
+//
+// Nodes attach to a Medium at a Location (Agilla addresses nodes by
+// location, §2.2) and exchange Frames. Delivery respects the configured
+// Topology, which for the paper's testbed filters everything except
+// immediate grid neighbors (§4).
+package radio
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/agilla-go/agilla/internal/sim"
+	"github.com/agilla-go/agilla/internal/topology"
+)
+
+// Broadcast is the destination address for beacon-style frames heard by all
+// connected neighbors.
+var Broadcast = topology.Location{X: -32768, Y: -32768}
+
+// Frame kinds (analogous to TinyOS Active Message types).
+const (
+	KindBeacon     uint8 = 1 // neighbor-discovery beacon
+	KindMigrate    uint8 = 2 // agent migration data (state/code/heap/stack/reaction)
+	KindMigrateCtl uint8 = 3 // migration control (request/grant/ack/commit/abort)
+	KindRemoteTS   uint8 = 4 // remote tuple space request
+	KindRemoteTSR  uint8 = 5 // remote tuple space reply
+)
+
+// Frame is one over-the-air message.
+type Frame struct {
+	Src     topology.Location
+	Dst     topology.Location // Broadcast for beacons
+	Kind    uint8
+	Payload []byte
+}
+
+// IsBroadcast reports whether the frame is addressed to all neighbors.
+func (f Frame) IsBroadcast() bool { return f.Dst == Broadcast }
+
+// Receiver is implemented by anything attached to the medium (motes and the
+// base station bridge).
+type Receiver interface {
+	ReceiveFrame(f Frame)
+}
+
+// Params configures the latency and loss models. ZeroLoss or Lossy provide
+// sensible defaults.
+type Params struct {
+	// BitrateBps is the radio bitrate; the CC1000 runs at up to 38.4 kbps.
+	BitrateBps int
+	// HeaderBytes and PreambleBytes are per-frame fixed costs added to the
+	// payload length when computing airtime.
+	HeaderBytes   int
+	PreambleBytes int
+	// ProcDelay is the per-frame MAC/processing overhead (CSMA backoff,
+	// TinyOS task latency, serial copy in/out of the radio chip).
+	ProcDelay time.Duration
+	// ProcJitter adds a uniform random [0, ProcJitter) to each frame.
+	ProcJitter time.Duration
+
+	// Gilbert–Elliott loss parameters, per directed link, sampled once per
+	// frame crossing that link.
+	LossGood float64 // loss probability in the good state
+	LossBad  float64 // loss probability in the bad (burst) state
+	PGoodBad float64 // P(good -> bad) after a frame
+	PBadGood float64 // P(bad -> good) after a frame
+}
+
+// ZeroLoss returns CC1000 timing with a perfectly reliable channel; used by
+// unit tests and the Figure 12 local-instruction benchmarks.
+func ZeroLoss() Params {
+	p := Lossy()
+	p.LossGood, p.LossBad, p.PGoodBad = 0, 0, 0
+	p.ProcJitter = 0
+	return p
+}
+
+// Lossy returns the calibrated testbed model used to regenerate the
+// paper's figures. Calibration rationale is recorded in EXPERIMENTS.md.
+func Lossy() Params {
+	return Params{
+		BitrateBps:    38400,
+		HeaderBytes:   7,
+		PreambleBytes: 8,
+		ProcDelay:     18 * time.Millisecond,
+		ProcJitter:    4 * time.Millisecond,
+		LossGood:      0.005,
+		LossBad:       0.62,
+		PGoodBad:      0.006,
+		PBadGood:      0.20,
+	}
+}
+
+// Airtime returns how long a frame with the given payload length occupies
+// the channel, excluding processing overhead.
+func (p Params) Airtime(payloadLen int) time.Duration {
+	bits := (p.HeaderBytes + p.PreambleBytes + payloadLen) * 8
+	return time.Duration(float64(bits) / float64(p.BitrateBps) * float64(time.Second))
+}
+
+// FrameDelay returns the full modelled latency for one frame hop, before
+// jitter.
+func (p Params) FrameDelay(payloadLen int) time.Duration {
+	return p.Airtime(payloadLen) + p.ProcDelay
+}
+
+type link struct {
+	from, to topology.Location
+}
+
+// geState is the Gilbert–Elliott channel state for one directed link.
+type geState struct {
+	bad bool
+}
+
+// Stats counts medium activity; read it after a run for the E9 comparison
+// and general diagnostics.
+type Stats struct {
+	Sent      uint64 // frames offered to the medium
+	Delivered uint64 // frame receptions (broadcast counts each receiver)
+	Dropped   uint64 // receptions lost to the channel
+	NoRoute   uint64 // unicast frames with no connected destination
+	Bytes     uint64 // payload bytes offered
+}
+
+// Medium is the shared channel. Construct with NewMedium; not safe for
+// concurrent use (the simulation kernel is single-threaded by design).
+type Medium struct {
+	sim    *sim.Sim
+	topo   topology.Topology
+	params Params
+	nodes  map[topology.Location]Receiver
+	links  map[link]*geState
+	stats  Stats
+
+	// Trace, when non-nil, observes every send attempt outcome. Used by
+	// the experiment harness to measure delivery without instrumenting
+	// the middleware.
+	Trace func(f Frame, to topology.Location, delivered bool)
+}
+
+// NewMedium creates a medium over the given topology.
+func NewMedium(s *sim.Sim, topo topology.Topology, params Params) *Medium {
+	return &Medium{
+		sim:    s,
+		topo:   topo,
+		params: params,
+		nodes:  make(map[topology.Location]Receiver),
+		links:  make(map[link]*geState),
+	}
+}
+
+// Params returns the medium's configured parameters.
+func (m *Medium) Params() Params { return m.params }
+
+// Stats returns a snapshot of the medium counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// Attach registers a receiver at the given location. Attaching twice at the
+// same location is a configuration bug and returns an error.
+func (m *Medium) Attach(loc topology.Location, r Receiver) error {
+	if _, dup := m.nodes[loc]; dup {
+		return fmt.Errorf("radio: node already attached at %v", loc)
+	}
+	m.nodes[loc] = r
+	return nil
+}
+
+// Detach removes the receiver at loc (a dead mote).
+func (m *Medium) Detach(loc topology.Location) {
+	delete(m.nodes, loc)
+}
+
+// Locations returns all attached node locations (iteration order is not
+// deterministic; callers must sort if order matters).
+func (m *Medium) Locations() []topology.Location {
+	out := make([]topology.Location, 0, len(m.nodes))
+	for l := range m.nodes {
+		out = append(out, l)
+	}
+	return out
+}
+
+// sortedLocations returns attached locations ordered by (Y,X).
+func (m *Medium) sortedLocations() []topology.Location {
+	out := m.Locations()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Y != out[j].Y {
+			return out[i].Y < out[j].Y
+		}
+		return out[i].X < out[j].X
+	})
+	return out
+}
+
+// Send transmits a frame. Unicast frames are delivered to the destination
+// node if it is attached and connected to the source; broadcast frames are
+// offered to every connected node. Loss is sampled per receiving link.
+// Delivery happens after the modelled frame delay.
+func (m *Medium) Send(f Frame) {
+	m.stats.Sent++
+	m.stats.Bytes += uint64(len(f.Payload))
+	if f.IsBroadcast() {
+		// Deliver in sorted location order: map iteration order would
+		// leak nondeterminism into the loss sampling and event sequence.
+		for _, loc := range m.sortedLocations() {
+			if loc == f.Src || !m.topo.Connected(f.Src, loc) {
+				continue
+			}
+			m.deliver(f, loc, m.nodes[loc])
+		}
+		return
+	}
+	node, ok := m.nodes[f.Dst]
+	if !ok || !m.topo.Connected(f.Src, f.Dst) {
+		m.stats.NoRoute++
+		if m.Trace != nil {
+			m.Trace(f, f.Dst, false)
+		}
+		return
+	}
+	m.deliver(f, f.Dst, node)
+}
+
+func (m *Medium) deliver(f Frame, to topology.Location, node Receiver) {
+	lost := m.sampleLoss(link{from: f.Src, to: to})
+	if m.Trace != nil {
+		m.Trace(f, to, !lost)
+	}
+	if lost {
+		m.stats.Dropped++
+		return
+	}
+	delay := m.params.FrameDelay(len(f.Payload))
+	if m.params.ProcJitter > 0 {
+		delay += time.Duration(m.sim.Rand().Int63n(int64(m.params.ProcJitter)))
+	}
+	m.stats.Delivered++
+	fc := f
+	fc.Payload = append([]byte(nil), f.Payload...) // defensive copy across the air
+	m.sim.Schedule(delay, func() { node.ReceiveFrame(fc) })
+}
+
+// sampleLoss runs one step of the link's Gilbert–Elliott chain and reports
+// whether the frame is lost.
+func (m *Medium) sampleLoss(l link) bool {
+	st, ok := m.links[l]
+	if !ok {
+		st = &geState{}
+		m.links[l] = st
+	}
+	var pLoss float64
+	if st.bad {
+		pLoss = m.params.LossBad
+	} else {
+		pLoss = m.params.LossGood
+	}
+	lost := pLoss > 0 && m.sim.Rand().Float64() < pLoss
+	// State transition after the frame.
+	if st.bad {
+		if m.params.PBadGood > 0 && m.sim.Rand().Float64() < m.params.PBadGood {
+			st.bad = false
+		}
+	} else {
+		if m.params.PGoodBad > 0 && m.sim.Rand().Float64() < m.params.PGoodBad {
+			st.bad = true
+		}
+	}
+	return lost
+}

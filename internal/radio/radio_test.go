@@ -1,0 +1,240 @@
+package radio
+
+import (
+	"testing"
+	"time"
+
+	"github.com/agilla-go/agilla/internal/sim"
+	"github.com/agilla-go/agilla/internal/topology"
+)
+
+type captureNode struct {
+	got []Frame
+}
+
+func (c *captureNode) ReceiveFrame(f Frame) { c.got = append(c.got, f) }
+
+func newTestMedium(t *testing.T, params Params) (*sim.Sim, *Medium, map[topology.Location]*captureNode) {
+	t.Helper()
+	s := sim.New(1)
+	m := NewMedium(s, topology.Grid{}, params)
+	nodes := make(map[topology.Location]*captureNode)
+	for _, loc := range topology.GridLocations(3, 3) {
+		n := &captureNode{}
+		nodes[loc] = n
+		if err := m.Attach(loc, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, m, nodes
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	s, m, nodes := newTestMedium(t, ZeroLoss())
+	m.Send(Frame{Src: topology.Loc(1, 1), Dst: topology.Loc(2, 1), Kind: KindRemoteTS, Payload: []byte{1, 2, 3}})
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	got := nodes[topology.Loc(2, 1)].got
+	if len(got) != 1 {
+		t.Fatalf("neighbor received %d frames, want 1", len(got))
+	}
+	if got[0].Kind != KindRemoteTS || len(got[0].Payload) != 3 {
+		t.Fatalf("frame corrupted: %+v", got[0])
+	}
+	// Nobody else hears a unicast in this model.
+	for loc, n := range nodes {
+		if loc != topology.Loc(2, 1) && len(n.got) != 0 {
+			t.Fatalf("node %v overheard unicast", loc)
+		}
+	}
+}
+
+func TestUnicastToNonNeighborIsFiltered(t *testing.T) {
+	s, m, nodes := newTestMedium(t, ZeroLoss())
+	// (1,1) -> (3,1) is two grid hops; the testbed filter must drop it.
+	m.Send(Frame{Src: topology.Loc(1, 1), Dst: topology.Loc(3, 1)})
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes[topology.Loc(3, 1)].got) != 0 {
+		t.Fatal("non-neighbor received frame despite grid filter")
+	}
+	if m.Stats().NoRoute != 1 {
+		t.Fatalf("NoRoute = %d, want 1", m.Stats().NoRoute)
+	}
+}
+
+func TestBroadcastReachesAllGridNeighbors(t *testing.T) {
+	s, m, nodes := newTestMedium(t, ZeroLoss())
+	m.Send(Frame{Src: topology.Loc(2, 2), Dst: Broadcast, Kind: KindBeacon})
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	wantHear := []topology.Location{
+		topology.Loc(1, 2), topology.Loc(3, 2), topology.Loc(2, 1), topology.Loc(2, 3),
+	}
+	for _, loc := range wantHear {
+		if len(nodes[loc].got) != 1 {
+			t.Errorf("neighbor %v heard %d beacons, want 1", loc, len(nodes[loc].got))
+		}
+	}
+	if len(nodes[topology.Loc(2, 2)].got) != 0 {
+		t.Error("sender heard its own beacon")
+	}
+	if len(nodes[topology.Loc(1, 1)].got) != 0 {
+		t.Error("diagonal node heard beacon on 4-connected grid")
+	}
+}
+
+func TestAirtimeAndDelay(t *testing.T) {
+	p := ZeroLoss()
+	// 7 header + 8 preamble + 21 payload = 36 bytes = 288 bits @38.4kbps = 7.5ms
+	if got, want := p.Airtime(21), 7500*time.Microsecond; got != want {
+		t.Fatalf("Airtime = %v, want %v", got, want)
+	}
+	if got, want := p.FrameDelay(21), 7500*time.Microsecond+p.ProcDelay; got != want {
+		t.Fatalf("FrameDelay = %v, want %v", got, want)
+	}
+}
+
+func TestDeliveryLatencyMatchesModel(t *testing.T) {
+	s, m, nodes := newTestMedium(t, ZeroLoss())
+	m.Send(Frame{Src: topology.Loc(1, 1), Dst: topology.Loc(2, 1), Payload: make([]byte, 21)})
+	var at time.Duration
+	ok, err := s.RunUntil(func() bool {
+		if len(nodes[topology.Loc(2, 1)].got) == 1 {
+			at = s.Now()
+			return true
+		}
+		return false
+	}, time.Second)
+	if err != nil || !ok {
+		t.Fatalf("frame not delivered: ok=%v err=%v", ok, err)
+	}
+	want := ZeroLoss().FrameDelay(21)
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestPayloadIsCopiedAcrossAir(t *testing.T) {
+	s, m, nodes := newTestMedium(t, ZeroLoss())
+	buf := []byte{1, 2, 3}
+	m.Send(Frame{Src: topology.Loc(1, 1), Dst: topology.Loc(2, 1), Payload: buf})
+	buf[0] = 99 // sender mutates its buffer after transmission
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	got := nodes[topology.Loc(2, 1)].got[0].Payload
+	if got[0] != 1 {
+		t.Fatal("receiver saw sender's post-send mutation; payload must be copied")
+	}
+}
+
+func TestDuplicateAttachFails(t *testing.T) {
+	s := sim.New(1)
+	m := NewMedium(s, topology.Grid{}, ZeroLoss())
+	n := &captureNode{}
+	if err := m.Attach(topology.Loc(1, 1), n); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Attach(topology.Loc(1, 1), n); err == nil {
+		t.Fatal("duplicate attach succeeded")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	s, m, nodes := newTestMedium(t, ZeroLoss())
+	m.Detach(topology.Loc(2, 1))
+	m.Send(Frame{Src: topology.Loc(1, 1), Dst: topology.Loc(2, 1)})
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes[topology.Loc(2, 1)].got) != 0 {
+		t.Fatal("detached node received frame")
+	}
+}
+
+func TestLossRateApproximatesModel(t *testing.T) {
+	p := ZeroLoss()
+	p.LossGood = 0.2 // Bernoulli: no bad state
+	s := sim.New(42)
+	m := NewMedium(s, topology.Grid{}, p)
+	n := &captureNode{}
+	if err := m.Attach(topology.Loc(1, 1), &captureNode{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Attach(topology.Loc(2, 1), n); err != nil {
+		t.Fatal(err)
+	}
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		m.Send(Frame{Src: topology.Loc(1, 1), Dst: topology.Loc(2, 1)})
+	}
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	rate := 1 - float64(len(n.got))/trials
+	if rate < 0.17 || rate > 0.23 {
+		t.Fatalf("empirical loss %v too far from 0.2", rate)
+	}
+}
+
+func TestBurstLossIsBursty(t *testing.T) {
+	// With a strongly bursty channel, consecutive losses should cluster:
+	// the number of loss runs should be well below the number of losses.
+	p := ZeroLoss()
+	p.LossGood = 0.0
+	p.LossBad = 1.0
+	p.PGoodBad = 0.05
+	p.PBadGood = 0.2
+	s := sim.New(7)
+	m := NewMedium(s, topology.Grid{}, p)
+	n := &captureNode{}
+	if err := m.Attach(topology.Loc(1, 1), &captureNode{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Attach(topology.Loc(2, 1), n); err != nil {
+		t.Fatal(err)
+	}
+	const trials = 4000
+	outcome := make([]bool, 0, trials) // true = delivered
+	m.Trace = func(_ Frame, _ topology.Location, delivered bool) {
+		outcome = append(outcome, delivered)
+	}
+	for i := 0; i < trials; i++ {
+		m.Send(Frame{Src: topology.Loc(1, 1), Dst: topology.Loc(2, 1)})
+	}
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	losses, runs := 0, 0
+	for i, ok := range outcome {
+		if !ok {
+			losses++
+			if i == 0 || outcome[i-1] {
+				runs++
+			}
+		}
+	}
+	if losses == 0 {
+		t.Fatal("no losses under bursty model")
+	}
+	if avg := float64(losses) / float64(runs); avg < 2 {
+		t.Fatalf("mean loss-burst length %.2f, want >= 2 (losses=%d runs=%d)", avg, losses, runs)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s, m, _ := newTestMedium(t, ZeroLoss())
+	m.Send(Frame{Src: topology.Loc(1, 1), Dst: topology.Loc(2, 1), Payload: []byte{1}})
+	m.Send(Frame{Src: topology.Loc(1, 1), Dst: topology.Loc(5, 5)}) // not attached there? (5,5) not in 3x3 grid
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Sent != 2 || st.Delivered != 1 || st.NoRoute != 1 || st.Bytes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,148 @@
+// Package sensor models the MICA2 sensor board. The paper's agents sample
+// sensors with the sense instruction and discover which sensors a node
+// carries through pre-defined tuples Agilla places in the local tuple space
+// (§2.2: "If a node has a thermometer, Agilla would insert a 'temperature
+// tuple' into its tuple space").
+//
+// Readings come from an environment Field so scenarios (the fire-spread
+// case study, a constant lab bench, a per-node lookup table) can drive what
+// every node senses over virtual time.
+package sensor
+
+import (
+	"time"
+
+	"github.com/agilla-go/agilla/internal/topology"
+	"github.com/agilla-go/agilla/internal/tuplespace"
+)
+
+// Field supplies the physical quantity a sensor measures, as a function of
+// place, sensor type, and virtual time.
+type Field interface {
+	Sample(loc topology.Location, s tuplespace.SensorType, now time.Duration) int16
+}
+
+// FieldFunc adapts a function to the Field interface.
+type FieldFunc func(loc topology.Location, s tuplespace.SensorType, now time.Duration) int16
+
+// Sample implements Field.
+func (f FieldFunc) Sample(loc topology.Location, s tuplespace.SensorType, now time.Duration) int16 {
+	return f(loc, s, now)
+}
+
+// Constant is a field that reads the same value everywhere, forever.
+type Constant int16
+
+// Sample implements Field.
+func (c Constant) Sample(topology.Location, tuplespace.SensorType, time.Duration) int16 {
+	return int16(c)
+}
+
+// MapField reads per-(location, sensor) values from a mutable table,
+// falling back to a default. Useful for scripted tests.
+type MapField struct {
+	Default int16
+	values  map[mapKey]int16
+}
+
+type mapKey struct {
+	loc topology.Location
+	s   tuplespace.SensorType
+}
+
+// NewMapField creates an empty table with the given default reading.
+func NewMapField(def int16) *MapField {
+	return &MapField{Default: def, values: make(map[mapKey]int16)}
+}
+
+// Set fixes the reading for one location and sensor.
+func (m *MapField) Set(loc topology.Location, s tuplespace.SensorType, v int16) {
+	m.values[mapKey{loc, s}] = v
+}
+
+// Clear removes an override.
+func (m *MapField) Clear(loc topology.Location, s tuplespace.SensorType) {
+	delete(m.values, mapKey{loc, s})
+}
+
+// Sample implements Field.
+func (m *MapField) Sample(loc topology.Location, s tuplespace.SensorType, _ time.Duration) int16 {
+	if v, ok := m.values[mapKey{loc, s}]; ok {
+		return v
+	}
+	return m.Default
+}
+
+// Board is the set of sensors one mote carries, bound to a field.
+type Board struct {
+	loc     topology.Location
+	field   Field
+	sensors map[tuplespace.SensorType]bool
+	// samples counts sense operations, for the energy/overhead accounting.
+	samples uint64
+}
+
+// NewBoard creates a board at loc with the given sensors. A nil field reads
+// zero everywhere.
+func NewBoard(loc topology.Location, field Field, sensors ...tuplespace.SensorType) *Board {
+	b := &Board{loc: loc, field: field, sensors: make(map[tuplespace.SensorType]bool, len(sensors))}
+	for _, s := range sensors {
+		b.sensors[s] = true
+	}
+	return b
+}
+
+// DefaultSensors is the standard MICA2 sensor-board complement used by the
+// simulated deployment.
+func DefaultSensors() []tuplespace.SensorType {
+	return []tuplespace.SensorType{
+		tuplespace.SensorTemperature,
+		tuplespace.SensorPhoto,
+		tuplespace.SensorSound,
+	}
+}
+
+// Has reports whether the board carries sensor s.
+func (b *Board) Has(s tuplespace.SensorType) bool { return b.sensors[s] }
+
+// Types returns the sensors on the board in ascending type order.
+func (b *Board) Types() []tuplespace.SensorType {
+	var out []tuplespace.SensorType
+	for s := tuplespace.SensorTemperature; s <= tuplespace.SensorSmoke; s++ {
+		if b.sensors[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Samples returns how many sense operations have been served.
+func (b *Board) Samples() uint64 { return b.samples }
+
+// Sense samples sensor s at virtual time now; ok is false if the board does
+// not carry that sensor.
+func (b *Board) Sense(s tuplespace.SensorType, now time.Duration) (int16, bool) {
+	if !b.sensors[s] {
+		return 0, false
+	}
+	b.samples++
+	if b.field == nil {
+		return 0, true
+	}
+	return b.field.Sample(b.loc, s, now), true
+}
+
+// ContextTuples returns the pre-defined sensor-availability tuples Agilla
+// inserts into the node's tuple space at boot so agents can discover what
+// the node can sense (§2.2). Each is <"sns", zero-reading-of-sensor>, so an
+// agent probes with the template <"sns", sensor-type-wildcard>.
+func (b *Board) ContextTuples() []tuplespace.Tuple {
+	var out []tuplespace.Tuple
+	for _, s := range b.Types() {
+		out = append(out, tuplespace.T(
+			tuplespace.Str("sns"),
+			tuplespace.Reading(s, 0),
+		))
+	}
+	return out
+}

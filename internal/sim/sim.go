@@ -1,0 +1,229 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that stands in for the physical MICA2 testbed used by the Agilla paper.
+//
+// The kernel is intentionally single-threaded: events execute one at a time
+// in (time, sequence) order, and all randomness flows from a single seeded
+// source. Running the same scenario with the same seed reproduces the exact
+// same schedule, which is what lets the benchmark harness regenerate the
+// paper's figures reproducibly.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrStopped is returned by Run variants when the simulation was stopped
+// explicitly before reaching its goal condition.
+var ErrStopped = errors.New("sim: stopped")
+
+// Event is a scheduled callback. It is returned by Schedule so callers can
+// cancel pending timers (for example retransmission timers that are no
+// longer needed once an acknowledgment arrives).
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 when not queued
+	cancel bool
+}
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancel = true
+	}
+}
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e != nil && e.cancel }
+
+// At returns the virtual time the event is scheduled to fire.
+func (e *Event) At() time.Duration { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator with a virtual clock.
+// The zero value is not usable; construct with New.
+type Sim struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+	// executed counts events that have fired; useful for runaway detection.
+	executed uint64
+}
+
+// New returns a simulator whose randomness is derived from seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand returns the simulation-wide random source. All stochastic models
+// (radio loss, agent randnbr, ...) must use this source so runs are
+// reproducible from the seed alone.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Executed returns the number of events that have fired so far.
+func (s *Sim) Executed() uint64 { return s.executed }
+
+// Schedule arranges for fn to run after delay d of virtual time.
+// A negative delay is treated as zero. Events scheduled for the same
+// instant fire in scheduling order.
+func (s *Sim) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	e := &Event{at: s.now + d, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Post schedules fn to run at the current instant, after all events already
+// queued for this instant. It models posting a TinyOS task.
+func (s *Sim) Post(fn func()) *Event { return s.Schedule(0, fn) }
+
+// Stop makes the currently running Run call return after the current event.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It returns false when the queue is empty.
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		s.executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or the virtual clock would
+// pass the until mark. Events at exactly until still run. It returns
+// ErrStopped if Stop was called.
+func (s *Sim) Run(until time.Duration) error {
+	s.stopped = false
+	for {
+		if s.stopped {
+			return ErrStopped
+		}
+		e := s.peek()
+		if e == nil {
+			return nil
+		}
+		if e.at > until {
+			s.now = until
+			return nil
+		}
+		s.Step()
+	}
+}
+
+// RunUntilIdle executes events until none remain. maxEvents guards against
+// runaway schedules (self-perpetuating beacons); 0 means no limit.
+func (s *Sim) RunUntilIdle(maxEvents uint64) error {
+	s.stopped = false
+	start := s.executed
+	for s.Step() {
+		if s.stopped {
+			return ErrStopped
+		}
+		if maxEvents > 0 && s.executed-start >= maxEvents {
+			return fmt.Errorf("sim: exceeded %d events without going idle", maxEvents)
+		}
+	}
+	return nil
+}
+
+// RunUntil executes events until pred returns true (checked after every
+// event), the queue empties, or the clock passes limit.
+// It reports whether pred became true.
+func (s *Sim) RunUntil(pred func() bool, limit time.Duration) (bool, error) {
+	s.stopped = false
+	if pred() {
+		return true, nil
+	}
+	for {
+		if s.stopped {
+			return false, ErrStopped
+		}
+		e := s.peek()
+		if e == nil {
+			return false, nil
+		}
+		if e.at > limit {
+			s.now = limit
+			return false, nil
+		}
+		s.Step()
+		if pred() {
+			return true, nil
+		}
+	}
+}
+
+func (s *Sim) peek() *Event {
+	for len(s.queue) > 0 {
+		if s.queue[0].cancel {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0]
+	}
+	return nil
+}
+
+// Pending returns the number of live (non-cancelled) queued events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.cancel {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,163 @@
+package tuplespace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultArenaBytes is the tuple store budget: "By default, it is
+// allocated 600 bytes" (§3.2, Tuple Space Manager).
+const DefaultArenaBytes = 600
+
+// ErrSpaceFull is returned by Out when the arena cannot hold the tuple.
+var ErrSpaceFull = errors.New("tuplespace: arena full")
+
+// Space is one node's local tuple space. Tuples are serialized into a
+// fixed linear arena; removing a tuple shifts all following tuples forward,
+// exactly as the paper describes ("the 600-bytes are allocated linearly.
+// When a tuple is removed, all following tuples are shifted forward").
+//
+// The zero Space is not usable; construct with NewSpace.
+type Space struct {
+	arena []byte // serialized tuples, back to back
+	used  int
+	count int
+
+	// onInsert observers (the tuple space manager wires the reaction
+	// registry and blocked-agent wakeups here).
+	onInsert []func(Tuple)
+}
+
+// NewSpace creates a space with the given arena budget; budget <= 0 uses
+// DefaultArenaBytes.
+func NewSpace(budget int) *Space {
+	if budget <= 0 {
+		budget = DefaultArenaBytes
+	}
+	return &Space{arena: make([]byte, 0, budget)}
+}
+
+// OnInsert registers an observer called after each successful Out.
+func (s *Space) OnInsert(fn func(Tuple)) { s.onInsert = append(s.onInsert, fn) }
+
+// UsedBytes returns the number of arena bytes holding live tuples.
+func (s *Space) UsedBytes() int { return s.used }
+
+// CapBytes returns the arena budget.
+func (s *Space) CapBytes() int { return cap(s.arena) }
+
+// TupleCount returns the number of stored tuples.
+func (s *Space) TupleCount() int { return s.count }
+
+// Out inserts a tuple. It fails if the tuple is oversized or the arena is
+// full; per the paper the operation is atomic — it either fully inserts or
+// does nothing.
+func (s *Space) Out(t Tuple) error {
+	sz := t.EncodedSize()
+	if sz > MaxTupleBytes {
+		return fmt.Errorf("%w (%d bytes)", ErrTupleTooBig, sz)
+	}
+	if s.used+sz > cap(s.arena) {
+		return fmt.Errorf("%w: %d used of %d, need %d", ErrSpaceFull, s.used, cap(s.arena), sz)
+	}
+	s.arena = t.Marshal(s.arena)
+	s.used += sz
+	s.count++
+	for _, fn := range s.onInsert {
+		fn(t)
+	}
+	return nil
+}
+
+// Rdp returns a copy of the first tuple matching the template without
+// removing it. The boolean reports whether a match was found.
+func (s *Space) Rdp(p Template) (Tuple, bool) {
+	t, _, ok := s.find(p)
+	return t, ok
+}
+
+// Inp removes and returns the first tuple matching the template.
+func (s *Space) Inp(p Template) (Tuple, bool) {
+	t, off, ok := s.find(p)
+	if !ok {
+		return Tuple{}, false
+	}
+	sz := t.EncodedSize()
+	// Shift all following tuples forward (§3.2).
+	copy(s.arena[off:], s.arena[off+sz:])
+	s.arena = s.arena[:s.used-sz]
+	s.used -= sz
+	s.count--
+	return t, true
+}
+
+// Count returns the number of tuples matching the template (the tcount
+// instruction).
+func (s *Space) Count(p Template) int {
+	n := 0
+	s.walk(func(t Tuple, _ int) bool {
+		if p.Matches(t) {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// All returns copies of every stored tuple in insertion order.
+func (s *Space) All() []Tuple {
+	var out []Tuple
+	s.walk(func(t Tuple, _ int) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// RemoveAll removes every tuple matching the template and returns how many
+// were removed.
+func (s *Space) RemoveAll(p Template) int {
+	n := 0
+	for {
+		if _, ok := s.Inp(p); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// find scans the arena for the first match, returning the decoded tuple
+// and its byte offset.
+func (s *Space) find(p Template) (Tuple, int, bool) {
+	var (
+		found Tuple
+		at    int
+		ok    bool
+	)
+	s.walk(func(t Tuple, off int) bool {
+		if p.Matches(t) {
+			found, at, ok = t, off, true
+			return false
+		}
+		return true
+	})
+	return found, at, ok
+}
+
+// walk decodes tuples in arena order, calling fn with each tuple and its
+// offset until fn returns false. A decode failure means the arena is
+// corrupt, which is a programming error; walk stops silently in that case
+// (the unit tests assert it never happens).
+func (s *Space) walk(fn func(t Tuple, off int) bool) {
+	off := 0
+	for off < s.used {
+		t, n, err := UnmarshalTuple(s.arena[off:])
+		if err != nil {
+			return
+		}
+		if !fn(t, off) {
+			return
+		}
+		off += n
+	}
+}

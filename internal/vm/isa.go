@@ -1,0 +1,233 @@
+// Package vm implements the Agilla mobile-agent virtual machine (§3.3,
+// §3.4 of the paper): a stack architecture with a 12-variable heap, an
+// agent-ID / program-counter / condition-code register set, and an
+// instruction set divided into general-purpose, tuple space, and migration
+// instructions.
+//
+// The interpreter executes exactly one instruction per call to Step,
+// mirroring the original's one-TinyOS-task-per-instruction execution model.
+// Long-running instructions (sleep, wait, blocking tuple ops, migration,
+// remote tuple space operations) do not complete inside Step; they return
+// an Outcome describing the effect, and the Agilla engine (internal/core)
+// carries it out.
+package vm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Op is an instruction opcode. Opcodes given in Figure 7 of the paper are
+// used verbatim (loc 0x01, wait 0x0b, smove 0x1a, wclone 0x1d, getnbr 0x20,
+// out 0x33, inp 0x34, rd 0x37, rout 0x39, rinp 0x3a, regrxn 0x3e); the
+// remainder fill consistent gaps.
+type Op byte
+
+// General-purpose instructions.
+const (
+	OpHalt   Op = 0x00
+	OpLoc    Op = 0x01
+	OpAid    Op = 0x02
+	OpRand   Op = 0x03
+	OpDup    Op = 0x04
+	OpPop    Op = 0x05
+	OpSwap   Op = 0x06
+	OpAdd    Op = 0x07
+	OpSub    Op = 0x08
+	OpAnd    Op = 0x09
+	OpOr     Op = 0x0a
+	OpWait   Op = 0x0b
+	OpNot    Op = 0x0c
+	OpSleep  Op = 0x0d
+	OpPutled Op = 0x0e
+	OpSense  Op = 0x0f
+	OpCeq    Op = 0x10
+	OpCneq   Op = 0x11
+	OpClt    Op = 0x12
+	OpCgt    Op = 0x13
+	OpJumps  Op = 0x14
+	OpRjump  Op = 0x15
+	OpRjumpc Op = 0x16
+	OpGetvar Op = 0x17
+	OpSetvar Op = 0x18
+	OpInc    Op = 0x19
+)
+
+// Migration instructions (§2.2): first letter selects weak/strong.
+const (
+	OpSmove  Op = 0x1a
+	OpWmove  Op = 0x1b
+	OpSclone Op = 0x1c
+	OpWclone Op = 0x1d
+)
+
+// Neighbor-list instructions served by the context manager (§3.2).
+const (
+	OpGetnbr  Op = 0x20
+	OpNumnbrs Op = 0x21
+	OpRandnbr Op = 0x22
+)
+
+// Comparison instructions that push a boolean result.
+const (
+	OpEq  Op = 0x23
+	OpNeq Op = 0x24
+	OpLt  Op = 0x25
+	OpGt  Op = 0x26
+)
+
+// Push instructions. These are the paper's "few exceptions" that consume
+// more than one byte.
+const (
+	OpPushc   Op = 0x28 // 1-byte unsigned immediate
+	OpPushcl  Op = 0x29 // 2-byte signed immediate ("push constant long")
+	OpPushn   Op = 0x2a // 3-byte name ("fir")
+	OpPusht   Op = 0x2b // 1-byte type code
+	OpPushrt  Op = 0x2c // 1-byte sensor type -> reading-type wildcard
+	OpPushloc Op = 0x2d // 2 × 1-byte signed coordinates
+)
+
+// Tuple space instructions (§3.4).
+const (
+	OpTcount   Op = 0x30
+	OpOut      Op = 0x33
+	OpInp      Op = 0x34
+	OpRdp      Op = 0x35
+	OpIn       Op = 0x36
+	OpRd       Op = 0x37
+	OpRout     Op = 0x39
+	OpRinp     Op = 0x3a
+	OpRrdp     Op = 0x3b
+	OpRegrxn   Op = 0x3e
+	OpDeregrxn Op = 0x3f
+)
+
+// Info describes one instruction's static properties.
+type Info struct {
+	Name string
+	// Operands is the number of operand bytes following the opcode.
+	Operands int
+	// Cost is the modelled local execution latency on the 8 MHz mote.
+	// Values are calibrated to Figure 12: ≈75 µs for plain pushes and
+	// register queries, ≈150 µs for instructions with extra memory
+	// accesses or computation, ≈292 µs average for tuple space
+	// operations, with in > rd > non-blocking probes.
+	Cost time.Duration
+}
+
+const us = time.Microsecond
+
+var infoTable = map[Op]Info{
+	OpHalt:   {"halt", 0, 60 * us},
+	OpLoc:    {"loc", 0, 74 * us},
+	OpAid:    {"aid", 0, 72 * us},
+	OpRand:   {"rand", 0, 112 * us},
+	OpDup:    {"dup", 0, 70 * us},
+	OpPop:    {"pop", 0, 66 * us},
+	OpSwap:   {"swap", 0, 72 * us},
+	OpAdd:    {"add", 0, 78 * us},
+	OpSub:    {"sub", 0, 78 * us},
+	OpAnd:    {"and", 0, 75 * us},
+	OpOr:     {"or", 0, 75 * us},
+	OpWait:   {"wait", 0, 80 * us},
+	OpNot:    {"not", 0, 73 * us},
+	OpSleep:  {"sleep", 0, 90 * us},
+	OpPutled: {"putled", 0, 85 * us},
+	OpSense:  {"sense", 0, 232 * us},
+	OpCeq:    {"ceq", 0, 82 * us},
+	OpCneq:   {"cneq", 0, 82 * us},
+	OpClt:    {"clt", 0, 82 * us},
+	OpCgt:    {"cgt", 0, 82 * us},
+	OpJumps:  {"jumps", 0, 86 * us},
+	OpRjump:  {"rjump", 1, 84 * us},
+	OpRjumpc: {"rjumpc", 1, 85 * us},
+	OpGetvar: {"getvar", 1, 96 * us},
+	OpSetvar: {"setvar", 1, 98 * us},
+	OpInc:    {"inc", 0, 70 * us},
+
+	OpSmove:  {"smove", 0, 210 * us},
+	OpWmove:  {"wmove", 0, 205 * us},
+	OpSclone: {"sclone", 0, 212 * us},
+	OpWclone: {"wclone", 0, 206 * us},
+
+	OpGetnbr:  {"getnbr", 0, 155 * us},
+	OpNumnbrs: {"numnbrs", 0, 78 * us},
+	OpRandnbr: {"randnbr", 0, 148 * us},
+
+	OpEq:  {"eq", 0, 81 * us},
+	OpNeq: {"neq", 0, 81 * us},
+	OpLt:  {"lt", 0, 81 * us},
+	OpGt:  {"gt", 0, 81 * us},
+
+	OpPushc:   {"pushc", 1, 76 * us},
+	OpPushcl:  {"pushcl", 2, 141 * us},
+	OpPushn:   {"pushn", 3, 152 * us},
+	OpPusht:   {"pusht", 1, 136 * us},
+	OpPushrt:  {"pushrt", 1, 132 * us},
+	OpPushloc: {"pushloc", 2, 158 * us},
+
+	OpTcount:   {"tcount", 0, 312 * us},
+	OpOut:      {"out", 0, 286 * us},
+	OpInp:      {"inp", 0, 271 * us},
+	OpRdp:      {"rdp", 0, 263 * us},
+	OpIn:       {"in", 0, 301 * us},
+	OpRd:       {"rd", 0, 291 * us},
+	OpRout:     {"rout", 0, 250 * us},
+	OpRinp:     {"rinp", 0, 252 * us},
+	OpRrdp:     {"rrdp", 0, 251 * us},
+	OpRegrxn:   {"regrxn", 0, 181 * us},
+	OpDeregrxn: {"deregrxn", 0, 173 * us},
+}
+
+var nameToOp = func() map[string]Op {
+	m := make(map[string]Op, len(infoTable))
+	for op, info := range infoTable {
+		m[info.Name] = op
+	}
+	return m
+}()
+
+// Lookup returns the instruction metadata for op.
+func Lookup(op Op) (Info, bool) {
+	info, ok := infoTable[op]
+	return info, ok
+}
+
+// ByName returns the opcode for a mnemonic.
+func ByName(name string) (Op, bool) {
+	op, ok := nameToOp[name]
+	return op, ok
+}
+
+// Ops returns all defined opcodes (useful for exhaustive tests and the
+// Figure 12 sweep). Order is unspecified.
+func Ops() []Op {
+	out := make([]Op, 0, len(infoTable))
+	for op := range infoTable {
+		out = append(out, op)
+	}
+	return out
+}
+
+// Size returns the encoded size in bytes of the instruction starting at
+// code[pc], or an error for an unknown opcode or truncated operands.
+func Size(code []byte, pc int) (int, error) {
+	if pc >= len(code) {
+		return 0, fmt.Errorf("vm: pc %d out of range (code %d bytes)", pc, len(code))
+	}
+	info, ok := infoTable[Op(code[pc])]
+	if !ok {
+		return 0, fmt.Errorf("vm: unknown opcode 0x%02x at pc %d", code[pc], pc)
+	}
+	if pc+1+info.Operands > len(code) {
+		return 0, fmt.Errorf("vm: truncated operands for %s at pc %d", info.Name, pc)
+	}
+	return 1 + info.Operands, nil
+}
+
+func (op Op) String() string {
+	if info, ok := infoTable[op]; ok {
+		return info.Name
+	}
+	return fmt.Sprintf("op(0x%02x)", byte(op))
+}
