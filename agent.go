@@ -1,0 +1,131 @@
+package agilla
+
+import (
+	"fmt"
+	"time"
+)
+
+// Agent is a handle on one injected agent. It tracks the agent across the
+// whole network — through multi-hop migrations, clones, and death —
+// replacing the uint16-ID-plus-polling pattern of the old API. Handles
+// are cheap (an ID plus a network pointer) and remain valid after the
+// agent dies, reporting its final state.
+//
+// The duplicate-tolerant failure semantics of the migration protocol
+// (§3.2 of the paper) mean a failed handoff can leave two live copies
+// under one ID; the handle then follows the copy that last made progress.
+type Agent struct {
+	nw *Network
+	id uint16
+}
+
+// Agent returns a handle for an agent ID obtained elsewhere (a trace
+// callback, Node.AgentIDs). The handle is valid even if the ID is
+// unknown; its state then reads as zero values.
+func (nw *Network) Agent(id uint16) *Agent { return &Agent{nw: nw, id: id} }
+
+// Agents returns handles for every agent the deployment has ever tracked,
+// sorted by ID (including halted and died agents).
+func (nw *Network) Agents() []*Agent {
+	recs := nw.d.AgentRecords()
+	out := make([]*Agent, len(recs))
+	for i, r := range recs {
+		out[i] = &Agent{nw: nw, id: r.ID}
+	}
+	return out
+}
+
+// ID returns the network-unique agent ID.
+func (a *Agent) ID() uint16 { return a.id }
+
+// Info returns the full tracked record.
+func (a *Agent) Info() AgentInfo {
+	info, _ := a.nw.d.AgentRecord(a.id)
+	return info
+}
+
+// Location returns the last node known to host the agent. While a
+// multi-hop transfer is in flight this lags at the hop that last reported
+// progress.
+func (a *Agent) Location() Location { return a.Info().Loc }
+
+// State returns the agent's live engine state (ready, sleeping, waiting,
+// blocked, migrating, remote, dead).
+func (a *Agent) State() AgentState { return a.Info().State }
+
+// Hops returns how many hop transfers the agent has completed, counting
+// every relay hop of multi-hop moves and the initial injection hops.
+func (a *Agent) Hops() int { return a.Info().Hops }
+
+// Clones returns how many clones this agent has spawned so far.
+func (a *Agent) Clones() int { return a.Info().Clones }
+
+// Parent returns the handle of the agent this one was cloned from, or nil
+// for original (injected) agents.
+func (a *Agent) Parent() *Agent {
+	info := a.Info()
+	if info.Parent == 0 {
+		return nil
+	}
+	return &Agent{nw: a.nw, id: info.Parent}
+}
+
+// Done reports whether the agent's life is over: halted, died with an
+// error, or killed.
+func (a *Agent) Done() bool { return a.Info().Done() }
+
+// Alive reports whether the agent still runs somewhere (or is in flight).
+func (a *Agent) Alive() bool {
+	info, ok := a.nw.d.AgentRecord(a.id)
+	return ok && !info.Done()
+}
+
+// Halted reports whether the agent ended by voluntarily executing halt.
+func (a *Agent) Halted() bool { return a.Info().Halted }
+
+// Err returns the fatal error for an agent that died, or nil.
+func (a *Agent) Err() error { return a.Info().Err }
+
+// Host returns the node currently hosting the agent, or nil while it is
+// in flight or after it died.
+func (a *Agent) Host() *Node { return a.nw.d.FindAgent(a.id) }
+
+// Kill forcibly reclaims the agent wherever it currently runs, reporting
+// whether a live copy was found.
+func (a *Agent) Kill() bool {
+	n := a.nw.d.FindAgent(a.id)
+	if n == nil {
+		return false
+	}
+	return n.KillAgent(a.id)
+}
+
+// Wait advances the simulation until pred(a) is true or limit of virtual
+// time elapses, reporting whether pred became true. The predicate is
+// checked after every simulation event, so transitions cannot be missed:
+//
+//	arrived, err := ag.Wait(func(a *agilla.Agent) bool {
+//		return a.Location() == dest
+//	}, time.Minute)
+func (a *Agent) Wait(pred func(*Agent) bool, limit time.Duration) (bool, error) {
+	if pred == nil {
+		return false, fmt.Errorf("agilla: Agent.Wait needs a predicate")
+	}
+	return a.nw.RunUntil(func() bool { return pred(a) }, limit)
+}
+
+// WaitDone advances the simulation until the agent's life is over (halt,
+// error, or kill), reporting whether that happened within limit.
+func (a *Agent) WaitDone(limit time.Duration) (bool, error) {
+	return a.Wait(func(ag *Agent) bool { return ag.Done() }, limit)
+}
+
+// String renders the handle for diagnostics.
+func (a *Agent) String() string {
+	info, ok := a.nw.d.AgentRecord(a.id)
+	if !ok {
+		return fmt.Sprintf("agent %d (untracked)", a.id)
+	}
+	return fmt.Sprintf("agent %d at %v (%v, %d hops, %d clones)",
+		a.id, info.Loc, info.State, info.Hops, info.Clones)
+}

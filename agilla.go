@@ -15,27 +15,39 @@
 // discovery, greedy geographic routing) is reproduced faithfully at
 // laptop scale.
 //
-// Quick start:
+// Quick start — build a deployment with functional options, inject an
+// agent, and watch it through its handle:
 //
-//	nw, err := agilla.NewNetwork(agilla.Options{Width: 5, Height: 5})
+//	nw, err := agilla.New(
+//		agilla.WithTopology(agilla.Ring(12)),
+//		agilla.WithSeed(7),
+//	)
 //	if err != nil { ... }
 //	if err := nw.WarmUp(); err != nil { ... }
-//	id, err := nw.Inject(`
+//	ag, err := nw.Inject(`
 //		pushc 7
 //		putled
 //		halt
-//	`, agilla.Loc(3, 3))
-//	_ = nw.Run(5 * time.Second)
+//	`, nw.Locations()[5])
+//	if err != nil { ... }
+//	done, _ := ag.WaitDone(30 * time.Second)
+//	fmt.Println(done, ag.Hops(), ag.Location())
+//
+// Topologies other than the paper's 5×5 grid — Line, Ring, RandomDisk,
+// and Custom coordinate sets — run the identical middleware over
+// different geometry. The zero-argument New() builds the paper's testbed.
+// For whole experiments (topology + field + agents + metrics, swept over
+// seeds in parallel) see Scenario.
 package agilla
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"github.com/agilla-go/agilla/internal/asm"
 	"github.com/agilla-go/agilla/internal/core"
 	"github.com/agilla-go/agilla/internal/firesim"
-	"github.com/agilla-go/agilla/internal/radio"
 	"github.com/agilla-go/agilla/internal/sensor"
 	"github.com/agilla-go/agilla/internal/topology"
 	"github.com/agilla-go/agilla/internal/tuplespace"
@@ -73,8 +85,11 @@ const (
 type Field = sensor.Field
 
 // Fire is the wildfire environment of the paper's case study (§5). Use
-// NewFire, ignite it, and pass it as Options.Field.
+// NewFire, ignite it, and pass it with WithField.
 type Fire = firesim.Fire
+
+// Rect is an inclusive rectangle; Fire.Bounds clips the spread to one.
+type Rect = firesim.Rect
 
 // Node is one simulated mote running the middleware.
 type Node = core.Node
@@ -84,6 +99,17 @@ type Trace = core.Trace
 
 // AgentState reports where an agent is in its life cycle.
 type AgentState = core.AgentState
+
+// AgentInfo is the deployment-wide record behind an Agent handle.
+type AgentInfo = core.AgentInfo
+
+// NodeConfig tunes per-mote middleware budgets and protocol timers; the
+// zero value selects the paper's defaults (§3.2).
+type NodeConfig = core.Config
+
+// ErrRemoteTimeout reports that a remote tuple space operation exhausted
+// its retransmission budget without a reply reaching the initiator.
+var ErrRemoteTimeout = core.ErrRemoteTimeout
 
 // Re-exported tuple field constructors.
 var (
@@ -124,58 +150,9 @@ func MustAssemble(src string) []byte { return asm.MustAssemble(src) }
 // Disassemble renders agent bytecode as assembly text.
 func Disassemble(code []byte) (string, error) { return asm.Disassemble(code) }
 
-// Options configures a simulated deployment. The zero value builds the
-// paper's testbed: a 5×5 MICA2 grid with the calibrated lossy CC1000
-// model, a base station at (0,0) bridged to the gateway mote (1,1), and
-// per-node budgets from §3.2 (4 agents, 440 B instruction memory, 600 B
-// tuple space, 400 B reaction registry).
-type Options struct {
-	// Width and Height size the mote grid (default 5×5).
-	Width, Height int
-	// Seed drives all randomness; runs are reproducible per seed.
-	Seed int64
-	// Reliable selects a zero-loss radio (default: the calibrated lossy
-	// model that regenerates the paper's Figures 9-11).
-	Reliable bool
-	// Field drives sensor readings (default: everything reads 0).
-	Field Field
-	// NodeConfig overrides per-mote middleware budgets and protocol
-	// timers; nil selects the paper's defaults.
-	NodeConfig *core.Config
-}
-
 // Network is a running Agilla deployment.
 type Network struct {
-	d    *core.Deployment
-	w, h int
-}
-
-// NewNetwork builds a deployment per the options.
-func NewNetwork(opts Options) (*Network, error) {
-	if opts.Width <= 0 {
-		opts.Width = 5
-	}
-	if opts.Height <= 0 {
-		opts.Height = 5
-	}
-	cfg := core.DeploymentConfig{
-		Width:  opts.Width,
-		Height: opts.Height,
-		Seed:   opts.Seed,
-		Field:  opts.Field,
-	}
-	if opts.Reliable {
-		p := radio.ZeroLoss()
-		cfg.Radio = &p
-	}
-	if opts.NodeConfig != nil {
-		cfg.Node = *opts.NodeConfig
-	}
-	d, err := core.NewGridDeployment(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("agilla: %w", err)
-	}
-	return &Network{d: d, w: opts.Width, h: opts.Height}, nil
+	d *core.Deployment
 }
 
 // Deployment exposes the underlying deployment for advanced use (the
@@ -186,8 +163,30 @@ func (nw *Network) Deployment() *core.Deployment { return nw.d }
 // arrivals, deaths, migrations, and tuple activity.
 func (nw *Network) Trace() *Trace { return nw.d.Trace }
 
-// Size returns the mote grid dimensions.
-func (nw *Network) Size() (w, h int) { return nw.w, nw.h }
+// Topology returns the name of the deployment's layout.
+func (nw *Network) Topology() string { return nw.d.Layout().Name }
+
+// Locations returns every mote location in deployment order (excluding
+// the base station).
+func (nw *Network) Locations() []Location { return nw.d.Locations() }
+
+// GridLocations is a deprecated alias for Locations, kept for callers
+// written against the grid-only API.
+func (nw *Network) GridLocations() []Location { return nw.d.Locations() }
+
+// Size returns the bounding-box dimensions of the mote layout; for a
+// w×h grid it returns (w, h).
+func (nw *Network) Size() (w, h int) {
+	minX, minY, maxX, maxY := nw.d.Layout().Bounds()
+	return int(maxX-minX) + 1, int(maxY-minY) + 1
+}
+
+// Bounds returns the inclusive bounding box of the mote layout; use it
+// to clip environment models (e.g. Fire.Bounds) to the deployment.
+func (nw *Network) Bounds() Rect {
+	minX, minY, maxX, maxY := nw.d.Layout().Bounds()
+	return Rect{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
+}
 
 // Now returns the current virtual time.
 func (nw *Network) Now() time.Duration { return nw.d.Sim.Now() }
@@ -208,21 +207,25 @@ func (nw *Network) RunUntil(pred func() bool, limit time.Duration) (bool, error)
 }
 
 // Inject assembles src and injects the agent from the base station to
-// dest, returning the agent ID.
-func (nw *Network) Inject(src string, dest Location) (uint16, error) {
+// dest, returning a handle that tracks the agent across the network.
+func (nw *Network) Inject(src string, dest Location) (*Agent, error) {
 	code, err := asm.Assemble(src)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	return nw.InjectCode(code, dest)
 }
 
 // InjectCode injects pre-assembled bytecode from the base station to dest.
-func (nw *Network) InjectCode(code []byte, dest Location) (uint16, error) {
+func (nw *Network) InjectCode(code []byte, dest Location) (*Agent, error) {
 	if nw.d.Node(dest) == nil {
-		return 0, fmt.Errorf("agilla: no node at %v", dest)
+		return nil, fmt.Errorf("agilla: no node at %v", dest)
 	}
-	return nw.d.Base.InjectAgent(code, dest)
+	id, err := nw.d.Base.InjectAgent(code, dest)
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{nw: nw, id: id}, nil
 }
 
 // Node returns the mote at loc, or nil. The base station is at (0,0).
@@ -282,22 +285,28 @@ func (nw *Network) Tuples(loc Location) []Tuple {
 func (nw *Network) TotalAgents() int { return nw.d.TotalAgents() }
 
 // RemoteRead performs a base-station rrdp against loc, running the
-// simulation until the reply arrives or the operation times out.
+// simulation until the reply arrives or the operation's retransmission
+// budget (derived from the node configuration's remote-op timers) is
+// exhausted. A timeout is reported as an error wrapping ErrRemoteTimeout;
+// ok=false with a nil error means the operation executed but found no
+// matching tuple.
 func (nw *Network) RemoteRead(loc Location, p Template) (Tuple, bool, error) {
 	var reply *wire.RemoteReply
-	nw.d.Base.RemoteOp(wire.OpRrdp, loc, Tuple{}, p, func(r wire.RemoteReply) {
-		reply = &r
+	var opErr error
+	nw.d.Base.RemoteOp(wire.OpRrdp, loc, Tuple{}, p, func(r wire.RemoteReply, err error) {
+		reply, opErr = &r, err
 	})
-	if _, err := nw.d.Sim.RunUntil(func() bool { return reply != nil }, nw.d.Sim.Now()+10*time.Second); err != nil {
+	// The remote manager itself resolves (reply or timeout failure) within
+	// the budget; the slack covers reply-delivery event latency.
+	deadline := core.RemoteOpBudget(nw.d.Base.Config()) + time.Second
+	if _, err := nw.d.Sim.RunUntil(func() bool { return reply != nil }, nw.d.Sim.Now()+deadline); err != nil {
 		return Tuple{}, false, err
 	}
-	if reply == nil {
-		return Tuple{}, false, fmt.Errorf("agilla: remote read of %v stalled", loc)
+	if reply == nil || errors.Is(opErr, core.ErrRemoteTimeout) {
+		return Tuple{}, false, fmt.Errorf("agilla: remote read of %v: %w", loc, ErrRemoteTimeout)
+	}
+	if opErr != nil {
+		return Tuple{}, false, opErr
 	}
 	return reply.Tuple, reply.OK, nil
-}
-
-// GridLocations enumerates the mote locations of this network's grid.
-func (nw *Network) GridLocations() []Location {
-	return topology.GridLocations(nw.w, nw.h)
 }

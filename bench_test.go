@@ -10,6 +10,7 @@ package agilla_test
 import (
 	"testing"
 
+	"github.com/agilla-go/agilla"
 	"github.com/agilla-go/agilla/internal/experiments"
 )
 
@@ -145,4 +146,30 @@ func BenchmarkAblationEndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRandomDiskMigration measures a complete scenario run on a
+// non-grid topology: build a 16-mote random unit-disk deployment, warm it
+// up, and migrate a courier agent from the base station to the mote
+// farthest from it over the calibrated lossy radio. It extends the perf
+// trajectory beyond the grid hot path: irregular neighbor counts change
+// beacon load, and greedy routing works on real Euclidean geometry
+// instead of Manhattan steps.
+func BenchmarkRandomDiskMigration(b *testing.B) {
+	sc := &agilla.Scenario{
+		Name:     "disk-migration",
+		Topology: agilla.RandomDisk(16, 8, 2.5),
+		Play:     playFarthestCourier,
+	}
+	delivered := 0
+	for i := 0; i < b.N; i++ {
+		m, err := sc.Run(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Completed {
+			delivered++
+		}
+	}
+	b.ReportMetric(float64(delivered)/float64(b.N), "delivered/op")
 }

@@ -19,14 +19,19 @@
 //	memory    the 3.59KB SRAM budget decomposition          (E6)
 //	speed     maximum migration rate / tracking speed       (E7)
 //	casestudy the fire detection and tracking scenario      (E8)
+//	ensemble  the fire scenario swept over -runs seeds,
+//	          fanned out across cores by the scenario
+//	          runner (Ctrl-C cancels outstanding runs)
 //	mate      reprogramming cost vs a Maté-style VM          (E9)
 //	ablate    protocol and channel-model ablations
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -34,11 +39,18 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: fig9,fig10,fig11,fig12,fig5,memory,speed,casestudy,mate,ablate,all")
+	exp := flag.String("exp", "all", "comma-separated experiments: fig9,fig10,fig11,fig12,fig5,memory,speed,casestudy,ensemble,mate,ablate,all")
 	trials := flag.Int("trials", 100, "trials per data point")
 	seed := flag.Int64("seed", 7, "simulation seed")
+	runs := flag.Int("runs", 8, "seeds for the ensemble experiment")
 	quick := flag.Bool("quick", false, "reduced trial counts for a fast pass")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// After the first Ctrl-C, unregister the handler so a second one
+	// kills the process the default way.
+	context.AfterFunc(ctx, stop)
 
 	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick}
 
@@ -60,35 +72,42 @@ func main() {
 	start := time.Now()
 
 	if section("fig9", "fig10") {
-		run(&ran, func() (fmt.Stringer, error) { return experiments.Fig9and10(cfg) })
+		run(ctx, &ran, func() (fmt.Stringer, error) { return experiments.Fig9and10(cfg) })
 	}
 	if section("fig11") {
-		run(&ran, func() (fmt.Stringer, error) { return experiments.Fig11(cfg) })
+		run(ctx, &ran, func() (fmt.Stringer, error) { return experiments.Fig11(cfg) })
 	}
 	if section("fig12") {
-		run(&ran, func() (fmt.Stringer, error) { return experiments.Fig12(cfg) })
+		run(ctx, &ran, func() (fmt.Stringer, error) { return experiments.Fig12(cfg) })
 	}
 	if section("fig5") {
-		run(&ran, func() (fmt.Stringer, error) { return experiments.Fig5Sizes() })
+		run(ctx, &ran, func() (fmt.Stringer, error) { return experiments.Fig5Sizes() })
 	}
 	if section("memory") {
-		run(&ran, func() (fmt.Stringer, error) { return experiments.Memory(), nil })
+		run(ctx, &ran, func() (fmt.Stringer, error) { return experiments.Memory(), nil })
 	}
 	if section("speed") {
-		run(&ran, func() (fmt.Stringer, error) { return experiments.Speed(cfg) })
+		run(ctx, &ran, func() (fmt.Stringer, error) { return experiments.Speed(cfg) })
 	}
 	if section("casestudy") {
-		run(&ran, func() (fmt.Stringer, error) { return experiments.CaseStudy(cfg) })
+		run(ctx, &ran, func() (fmt.Stringer, error) { return experiments.CaseStudy(cfg) })
+	}
+	if section("ensemble") {
+		run(ctx, &ran, func() (fmt.Stringer, error) { return experiments.CaseStudyEnsemble(ctx, cfg, *runs) })
 	}
 	if section("mate") {
-		run(&ran, func() (fmt.Stringer, error) { return experiments.MateCompare(cfg) })
+		run(ctx, &ran, func() (fmt.Stringer, error) { return experiments.MateCompare(cfg) })
 	}
 	if section("ablate") {
-		run(&ran, func() (fmt.Stringer, error) { return experiments.AblationEndToEnd(cfg) })
-		run(&ran, func() (fmt.Stringer, error) { return experiments.AblationLossModel(cfg) })
-		run(&ran, func() (fmt.Stringer, error) { return experiments.AblationRetries(cfg) })
+		run(ctx, &ran, func() (fmt.Stringer, error) { return experiments.AblationEndToEnd(cfg) })
+		run(ctx, &ran, func() (fmt.Stringer, error) { return experiments.AblationLossModel(cfg) })
+		run(ctx, &ran, func() (fmt.Stringer, error) { return experiments.AblationRetries(cfg) })
 	}
 
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "agilla-bench: interrupted")
+		os.Exit(130)
+	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "agilla-bench: no experiment matches %q\n", *exp)
 		flag.Usage()
@@ -97,7 +116,13 @@ func main() {
 	fmt.Printf("\n%d experiment group(s) in %.1fs (wall clock)\n", ran, time.Since(start).Seconds())
 }
 
-func run(ran *int, f func() (fmt.Stringer, error)) {
+// run executes one experiment group unless the context was cancelled; the
+// experiments themselves are uninterruptible except for the ensemble,
+// which polls the context internally.
+func run(ctx context.Context, ran *int, f func() (fmt.Stringer, error)) {
+	if ctx.Err() != nil {
+		return
+	}
 	res, err := f()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "agilla-bench: %v\n", err)

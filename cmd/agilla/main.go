@@ -6,7 +6,8 @@
 // Usage:
 //
 //	agilla -inject prog.agilla -at 3,3 -run 30s
-//	agilla -inject prog.agilla -at 1,1 -watch
+//	agilla -topo ring -nodes 12 -watch            # prints the mote list for -at
+//	agilla -topo disk -nodes 20 -side 8 -range 2.5 -seed 3
 //	agilla -disasm prog.agilla
 //
 // The program file uses the assembly dialect of the paper's Figures 2, 8,
@@ -36,8 +37,12 @@ func run() error {
 	var (
 		inject = flag.String("inject", "", "agent program file to inject")
 		at     = flag.String("at", "1,1", "destination node, e.g. 3,3")
+		topo   = flag.String("topo", "grid", "topology: grid, line, ring, disk")
 		width  = flag.Int("width", 5, "grid width")
 		height = flag.Int("height", 5, "grid height")
+		nodes  = flag.Int("nodes", 12, "node count for line/ring/disk topologies")
+		side   = flag.Int("side", 8, "region side for the disk topology")
+		rng    = flag.Float64("range", 2.5, "radio range for the disk topology")
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		runFor = flag.Duration("run", 30*time.Second, "virtual time to run after injecting")
 		lossy  = flag.Bool("lossy", true, "use the calibrated lossy radio")
@@ -64,25 +69,49 @@ func run() error {
 		return nil
 	}
 
-	opts := agilla.Options{
-		Width: *width, Height: *height,
-		Seed: *seed, Reliable: !*lossy,
+	var top agilla.Topology
+	switch *topo {
+	case "grid":
+		top = agilla.Grid(*width, *height)
+	case "line":
+		top = agilla.Line(*nodes)
+	case "ring":
+		top = agilla.Ring(*nodes)
+	case "disk":
+		top = agilla.RandomDisk(*nodes, *side, *rng)
+	default:
+		return fmt.Errorf("-topo: unknown topology %q (want grid, line, ring, disk)", *topo)
+	}
+	opts := []agilla.Option{agilla.WithTopology(top), agilla.WithSeed(*seed)}
+	if !*lossy {
+		opts = append(opts, agilla.WithReliableRadio())
 	}
 	var fire *agilla.Fire
 	if *fireAt != "" {
 		fire = agilla.NewFire(30*time.Second, *width, *height)
-		opts.Field = fire
+		opts = append(opts, agilla.WithField(fire))
 	}
-	nw, err := agilla.NewNetwork(opts)
+	nw, err := agilla.New(opts...)
 	if err != nil {
 		return err
+	}
+	if fire != nil {
+		// Clip the fire to the realized layout, not the grid flags: ring
+		// and disk motes can sit outside the -width/-height box.
+		b := nw.Bounds()
+		fire.Bounds = &b
 	}
 
 	if *watch {
 		attachWatch(nw)
 	}
 
-	fmt.Printf("warming up %dx%d grid (seed %d)...\n", *width, *height, *seed)
+	fmt.Printf("warming up %s (seed %d)...\n", nw.Topology(), *seed)
+	if *topo != "grid" {
+		// Non-grid mote placement isn't guessable; print it so the user
+		// knows what -at accepts.
+		fmt.Printf("motes: %v\n", nw.Locations())
+	}
 	if err := nw.WarmUp(); err != nil {
 		return err
 	}
@@ -105,11 +134,12 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("-at: %w", err)
 		}
-		id, err := nw.Inject(string(src), dest)
+		ag, err := nw.Inject(string(src), dest)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("injected agent %d toward %v\n", id, dest)
+		fmt.Printf("injected agent %d toward %v\n", ag.ID(), dest)
+		defer func() { fmt.Printf("final agent state: %v\n", ag) }()
 	}
 
 	if err := nw.Run(*runFor); err != nil {
@@ -117,7 +147,7 @@ func run() error {
 	}
 
 	fmt.Printf("\n=== network state at t=%v ===\n", nw.Now())
-	for _, loc := range append([]agilla.Location{agilla.Loc(0, 0)}, nw.GridLocations()...) {
+	for _, loc := range append([]agilla.Location{agilla.Loc(0, 0)}, nw.Locations()...) {
 		node := nw.Node(loc)
 		if node == nil {
 			continue

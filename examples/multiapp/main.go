@@ -53,7 +53,7 @@ func main() {
 		      rjump LOOP
 		BAIL  halt             // voluntarily free our resources
 	`
-	habitatID, err := nw.Inject(habitat, mote)
+	habitatAgent, err := nw.Inject(habitat, mote)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,10 +90,7 @@ func main() {
 	fire.Ignite(mote, nw.Now())
 	fmt.Println("fire ignites under the mote...")
 
-	gone, err := nw.RunUntil(func() bool {
-		_, alive := nw.Node(mote).AgentInfo(habitatID)
-		return !alive
-	}, time.Minute)
+	gone, err := habitatAgent.WaitDone(time.Minute)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,6 +98,6 @@ func main() {
 		log.Fatal("habitat agent never yielded")
 	}
 	fmt.Println("the detector out'd a fire tuple; the habitat agent's reaction fired")
-	fmt.Printf("habitat agent %d killed itself — the two never knew each other's names\n", habitatID)
+	fmt.Printf("habitat agent %d killed itself — the two never knew each other's names\n", habitatAgent.ID())
 	fmt.Printf("fire tuple present: %v\n", nw.Count(mote, agilla.Tmpl(agilla.Str("fir"), agilla.TypeV(0))) > 0)
 }

@@ -28,7 +28,7 @@ func main() {
 	// The network is deployed with no application installed. Inject a
 	// greeter agent at mote (3,3): it lights the LEDs, drops a tuple
 	// <"hi", (3,3)> into the local tuple space, and dies.
-	id, err := nw.Inject(`
+	ag, err := nw.Inject(`
 		pushc 7
 		putled        // all three LEDs on
 		pushn hi      // push the string "hi"
@@ -40,12 +40,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("injected agent %d; migrating (0,0) -> (3,3)...\n", id)
+	fmt.Printf("injected agent %d; migrating (0,0) -> (3,3)...\n", ag.ID())
 
-	// Injection is a real multi-hop migration over the lossy radio.
-	if err := nw.Run(10 * time.Second); err != nil {
+	// Injection is a real multi-hop migration over the lossy radio; the
+	// handle observes the agent completing without hand-rolled polling.
+	done, err := ag.WaitDone(10 * time.Second)
+	if err != nil {
 		log.Fatal(err)
 	}
+	if !done {
+		log.Fatalf("agent did not finish in time: %v (very unlucky radio run — try another seed)", ag)
+	}
+	fmt.Printf("agent finished after %d hops at %v\n", ag.Hops(), ag.Location())
 
 	// Find the greeting by pattern matching: a template field of string
 	// type is exact-match; a type wildcard matches any location.

@@ -1,0 +1,3 @@
+module github.com/agilla-go/agilla
+
+go 1.22

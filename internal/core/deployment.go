@@ -37,6 +37,9 @@ func (n *Node) InjectAgent(code []byte, dest topology.Location) (uint16, error) 
 	}
 	rec.state = AgentMigrating
 	snap := n.snapshotAgent(rec, wire.MigInject, dest)
+	if n.tracker != nil {
+		n.tracker.injected(n.loc, id)
+	}
 	if n.trace != nil && n.trace.MigrationStarted != nil {
 		n.trace.MigrationStarted(n.loc, id, wire.MigInject, dest)
 	}
@@ -50,13 +53,15 @@ func (n *Node) InjectAgent(code []byte, dest topology.Location) (uint16, error) 
 // operation without running an agent: the Java base-station application
 // "allows a user to interact with the WSN by injecting agents and
 // performing remote tuple space operations" (§3.1). The callback receives
-// the outcome; it is invoked synchronously for local destinations.
-func (n *Node) RemoteOp(op wire.RemoteOp, dest topology.Location, t tuplespace.Tuple, p tuplespace.Template, done func(wire.RemoteReply)) {
+// the outcome; it is invoked synchronously for local destinations. On
+// timeout the callback's error is ErrRemoteTimeout and the reply's OK is
+// false.
+func (n *Node) RemoteOp(op wire.RemoteOp, dest topology.Location, t tuplespace.Tuple, p tuplespace.Template, done func(wire.RemoteReply, error)) {
 	n.reqSeq++
 	req := wire.RemoteRequest{ReqID: n.reqSeq, Op: op, ReplyTo: n.loc, Tuple: t, Template: p}
 	if dest == n.loc {
 		if done != nil {
-			done(n.performRemote(req))
+			done(n.performRemote(req), nil)
 		}
 		return
 	}
@@ -72,20 +77,46 @@ func (n *Node) RemoteOp(op wire.RemoteOp, dest topology.Location, t tuplespace.T
 	n.sendRemote(pr)
 }
 
-// Deployment is a full Agilla network: a grid of motes, the shared radio
-// medium, and a base station bridged to a gateway mote — Figure 3's 25-mote
-// testbed with its laptop.
+// Deployment is a full Agilla network: motes placed by a Layout, the
+// shared radio medium, and a base station bridged to the layout's gateway
+// mote. The paper's 25-mote testbed with its laptop (Figure 3) is the grid
+// instance; line, ring, random-disk, and custom layouts run the identical
+// middleware over different geometry.
 type Deployment struct {
 	Sim    *sim.Sim
 	Medium *radio.Medium
 	Base   *Node
 	Trace  *Trace
 
-	nodes map[topology.Location]*Node
-	cfg   DeploymentConfig
+	nodes   map[topology.Location]*Node
+	layout  topology.Layout
+	spec    DeploymentSpec
+	tracker *agentTracker
 }
 
-// DeploymentConfig assembles a Deployment.
+// DeploymentSpec assembles a Deployment from a layout.
+type DeploymentSpec struct {
+	// Layout places the motes and fixes their connectivity.
+	Layout topology.Layout
+	// Seed drives all randomness.
+	Seed int64
+	// Radio selects the loss/latency model (nil: radio.Lossy()).
+	Radio *radio.Params
+	// Node configures every mote; Base overrides for the base station
+	// (zero values select paper defaults, with a roomier base).
+	Node Config
+	Base *Config
+	// BaseLoc places the base station; default (0,0) as in §4.
+	BaseLoc *topology.Location
+	// Topo, when non-nil, replaces the whole medium topology (layout
+	// links plus base bridge). Used by failure-injection tests.
+	Topo topology.Topology
+	// Field drives sensor readings (nil: all sensors read 0).
+	Field sensor.Field
+}
+
+// DeploymentConfig assembles a grid Deployment; it predates DeploymentSpec
+// and is kept for the experiment harness and older tests.
 type DeploymentConfig struct {
 	// Width and Height give the mote grid; (1,1) is the lower-left node.
 	Width, Height int
@@ -107,42 +138,68 @@ type DeploymentConfig struct {
 	Field sensor.Field
 }
 
-// NewGridDeployment builds the testbed. All nodes share one Trace.
+// NewGridDeployment builds the paper's grid testbed. It is a thin wrapper
+// over NewDeployment with a grid layout.
 func NewGridDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	if cfg.Width <= 0 || cfg.Height <= 0 {
 		return nil, fmt.Errorf("core: deployment needs positive grid dimensions")
 	}
-	s := sim.New(cfg.Seed)
-	params := radio.Lossy()
-	if cfg.Radio != nil {
-		params = *cfg.Radio
-	}
-	baseLoc := topology.Loc(0, 0)
-	if cfg.BaseLoc != nil {
-		baseLoc = *cfg.BaseLoc
-	}
-	gwLoc := topology.Loc(1, 1)
+	layout := topology.GridLayout(cfg.Width, cfg.Height)
 	if cfg.GatewayLoc != nil {
-		gwLoc = *cfg.GatewayLoc
+		layout.Gateway = *cfg.GatewayLoc
 	}
-	var topo topology.Topology = topology.WithBase{Inner: topology.Grid{}, Base: baseLoc, Gateway: gwLoc}
-	if cfg.Topo != nil {
-		topo = cfg.Topo
+	return NewDeployment(DeploymentSpec{
+		Layout:  layout,
+		Seed:    cfg.Seed,
+		Radio:   cfg.Radio,
+		Node:    cfg.Node,
+		Base:    cfg.Base,
+		BaseLoc: cfg.BaseLoc,
+		Topo:    cfg.Topo,
+		Field:   cfg.Field,
+	})
+}
+
+// NewDeployment builds a network from a layout: one mote per layout node,
+// the shared medium over the layout's links, and a base station bridged
+// to the gateway. All nodes share one Trace and one agent tracker.
+func NewDeployment(spec DeploymentSpec) (*Deployment, error) {
+	baseLoc := topology.Loc(0, 0)
+	if spec.BaseLoc != nil {
+		baseLoc = *spec.BaseLoc
+	}
+	if err := spec.Layout.Validate(baseLoc); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s := sim.New(spec.Seed)
+	params := radio.Lossy()
+	if spec.Radio != nil {
+		params = *spec.Radio
+	}
+	var topo topology.Topology = topology.WithBase{
+		Inner:   spec.Layout.Links,
+		Base:    baseLoc,
+		Gateway: spec.Layout.Gateway,
+	}
+	if spec.Topo != nil {
+		topo = spec.Topo
 	}
 	medium := radio.NewMedium(s, topo, params)
 	trace := &Trace{}
 
 	d := &Deployment{
-		Sim:    s,
-		Medium: medium,
-		Trace:  trace,
-		nodes:  make(map[topology.Location]*Node),
-		cfg:    cfg,
+		Sim:     s,
+		Medium:  medium,
+		Trace:   trace,
+		nodes:   make(map[topology.Location]*Node, len(spec.Layout.Nodes)+1),
+		layout:  spec.Layout,
+		spec:    spec,
+		tracker: newAgentTracker(s.Now),
 	}
 
-	baseCfg := cfg.Node
-	if cfg.Base != nil {
-		baseCfg = *cfg.Base
+	baseCfg := spec.Node
+	if spec.Base != nil {
+		baseCfg = *spec.Base
 	} else {
 		// The base station is a laptop: effectively unconstrained.
 		baseCfg.MaxAgents = 64
@@ -156,20 +213,35 @@ func NewGridDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: base station: %w", err)
 	}
+	base.tracker = d.tracker
 	d.Base = base
 	d.nodes[baseLoc] = base
 
 	idx := uint8(1)
-	for _, loc := range topology.GridLocations(cfg.Width, cfg.Height) {
-		board := sensor.NewBoard(loc, cfg.Field, sensor.DefaultSensors()...)
-		n, err := NewNode(s, medium, loc, idx, board, cfg.Node, trace)
+	for _, loc := range spec.Layout.Nodes {
+		board := sensor.NewBoard(loc, spec.Field, sensor.DefaultSensors()...)
+		n, err := NewNode(s, medium, loc, idx, board, spec.Node, trace)
 		if err != nil {
 			return nil, fmt.Errorf("core: node %v: %w", loc, err)
 		}
+		n.tracker = d.tracker
 		d.nodes[loc] = n
 		idx++
 	}
 	return d, nil
+}
+
+// Layout returns the deployment's layout.
+func (d *Deployment) Layout() topology.Layout { return d.layout }
+
+// Field returns the sensor field driving this deployment's readings
+// (nil when all sensors read 0).
+func (d *Deployment) Field() sensor.Field { return d.spec.Field }
+
+// Locations returns the mote locations in layout order (excluding the
+// base station).
+func (d *Deployment) Locations() []topology.Location {
+	return append([]topology.Location(nil), d.layout.Nodes...)
 }
 
 // Start begins beaconing on every node, in location order so the beacon
@@ -184,7 +256,7 @@ func (d *Deployment) Start() {
 // list to fill (a bit over two beacon periods).
 func (d *Deployment) WarmUp() error {
 	d.Start()
-	period := d.cfg.Node.Network.BeaconEvery
+	period := d.spec.Node.Network.BeaconEvery
 	if period <= 0 {
 		period = 2 * time.Second
 	}
@@ -229,4 +301,25 @@ func (d *Deployment) TotalAgents() int {
 		total += len(n.agents) + n.reserve
 	}
 	return total
+}
+
+// TotalStats sums the per-node middleware counters across the network
+// (including the base station).
+func (d *Deployment) TotalStats() NodeStats {
+	var t NodeStats
+	for _, n := range d.nodes {
+		s := n.stats
+		t.InstrExecuted += s.InstrExecuted
+		t.AgentsHosted += s.AgentsHosted
+		t.AgentsHalted += s.AgentsHalted
+		t.AgentsDied += s.AgentsDied
+		t.MigrationsOut += s.MigrationsOut
+		t.MigrationsOK += s.MigrationsOK
+		t.MigrationsFail += s.MigrationsFail
+		t.RemoteInitiated += s.RemoteInitiated
+		t.RemoteOK += s.RemoteOK
+		t.RemoteFail += s.RemoteFail
+		t.ReactionsFired += s.ReactionsFired
+	}
+	return t
 }

@@ -129,6 +129,9 @@ func (n *Node) applyEffect(rec *record, out vm.Outcome) {
 	case vm.EffectHalt:
 		rec.state = AgentDead
 		n.stats.AgentsHalted++
+		if n.tracker != nil {
+			n.tracker.finish(n.loc, rec.agent.ID, true, nil)
+		}
 		if n.trace != nil && n.trace.AgentHalted != nil {
 			n.trace.AgentHalted(n.loc, rec.agent.ID)
 		}
@@ -175,6 +178,9 @@ func (n *Node) applyEffect(rec *record, out vm.Outcome) {
 func (n *Node) killAgent(rec *record, err error) {
 	rec.state = AgentDead
 	n.stats.AgentsDied++
+	if n.tracker != nil {
+		n.tracker.finish(n.loc, rec.agent.ID, false, err)
+	}
 	if n.trace != nil && n.trace.AgentDied != nil {
 		n.trace.AgentDied(n.loc, rec.agent.ID, err)
 	}

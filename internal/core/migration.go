@@ -24,6 +24,17 @@ type migKey struct {
 	seq     uint16
 }
 
+// inKey identifies an inbound transfer on the receiver. The sender's
+// location is part of the key: seq counters are per-sender, so two
+// different senders may reuse the same (agentID, seq) pair — an agent
+// whose walk re-crosses a node would otherwise collide with the stale
+// duplicate-suppression entry from its first visit and be silently
+// swallowed.
+type inKey struct {
+	migKey
+	from topology.Location
+}
+
 // snapshot is everything that travels with an agent.
 type snapshot struct {
 	kind  wire.MigKind
@@ -56,10 +67,10 @@ type outMigration struct {
 	origin  bool // false when relaying an agent passing through
 }
 
-// inMigration is the agent receiver's per-transfer state.
+// inMigration is the agent receiver's per-transfer state. The sender to
+// ack (previous hop, or the origin in end-to-end mode) is key.from.
 type inMigration struct {
-	key        migKey
-	from       topology.Location // previous hop, for acks
+	key        inKey
 	st         wire.StateMsg
 	haveState  bool
 	code       map[uint8][CodeBlockSize]byte
@@ -103,6 +114,9 @@ func (n *Node) startMigration(rec *record, out vm.Outcome) {
 	}
 	rec.state = AgentMigrating
 	snap := n.snapshotAgent(rec, kind, dest)
+	if n.tracker != nil {
+		n.tracker.migStarted(n.loc, rec.agent.ID)
+	}
 	if n.trace != nil && n.trace.MigrationStarted != nil {
 		n.trace.MigrationStarted(n.loc, rec.agent.ID, kind, dest)
 	}
@@ -129,6 +143,9 @@ func (n *Node) migrateToSelf(rec *record, kind wire.MigKind) {
 		if err != nil {
 			n.resumeAgent(rec, 0)
 			return
+		}
+		if n.tracker != nil {
+			n.tracker.cloned(n.loc, rec.agent.ID, clone.ID)
 		}
 		if kind.Strong() {
 			// The clone inherits the parent's registered reactions.
@@ -337,10 +354,16 @@ func (n *Node) recvMigrationAck(f radio.Frame) {
 func (n *Node) finishTransferOK(om *outMigration) {
 	n.clearOut(om)
 	n.stats.MigrationsOK++
+	isClone := om.snap.kind == wire.MigStrongClone || om.snap.kind == wire.MigWeakClone
+	// Clone transfers travel under the parent's ID (the clone's ID is
+	// minted at the destination), so crediting these hops would inflate
+	// a stationary cloning agent's hop count.
+	if n.tracker != nil && !isClone {
+		n.tracker.hopDone(n.loc, om.key.agentID, true)
+	}
 	if n.trace != nil && n.trace.MigrationDone != nil {
 		n.trace.MigrationDone(n.loc, om.key.agentID, om.snap.kind, om.snap.dest, true)
 	}
-	isClone := om.snap.kind == wire.MigStrongClone || om.snap.kind == wire.MigWeakClone
 	if om.origin && isClone {
 		// The original keeps running with the condition set (§2.2).
 		n.resumeAgent(om.rec, 1)
@@ -357,6 +380,9 @@ func (n *Node) finishTransferOK(om *outMigration) {
 func (n *Node) failTransfer(om *outMigration) {
 	n.clearOut(om)
 	n.stats.MigrationsFail++
+	if n.tracker != nil {
+		n.tracker.hopDone(n.loc, om.key.agentID, false)
+	}
 	if n.trace != nil && n.trace.MigrationDone != nil {
 		n.trace.MigrationDone(n.loc, om.key.agentID, om.snap.kind, om.snap.dest, false)
 	}
@@ -418,8 +444,8 @@ func (n *Node) acceptMigrationMsg(payload []byte, from topology.Location, e2e bo
 		if err != nil {
 			return
 		}
-		key := migKey{m.AgentID, m.Seq}
-		im := n.liveIn(key, wire.MsgCode, m.Index, from)
+		key := inKey{migKey{m.AgentID, m.Seq}, from}
+		im := n.liveIn(key, wire.MsgCode, m.Index)
 		if im == nil {
 			return
 		}
@@ -430,8 +456,8 @@ func (n *Node) acceptMigrationMsg(payload []byte, from topology.Location, e2e bo
 		if err != nil {
 			return
 		}
-		key := migKey{m.AgentID, m.Seq}
-		im := n.liveIn(key, wire.MsgHeap, m.Index, from)
+		key := inKey{migKey{m.AgentID, m.Seq}, from}
+		im := n.liveIn(key, wire.MsgHeap, m.Index)
 		if im == nil {
 			return
 		}
@@ -445,8 +471,8 @@ func (n *Node) acceptMigrationMsg(payload []byte, from topology.Location, e2e bo
 		if err != nil {
 			return
 		}
-		key := migKey{m.AgentID, m.Seq}
-		im := n.liveIn(key, wire.MsgStack, m.Index, from)
+		key := inKey{migKey{m.AgentID, m.Seq}, from}
+		im := n.liveIn(key, wire.MsgStack, m.Index)
 		if im == nil {
 			return
 		}
@@ -457,8 +483,8 @@ func (n *Node) acceptMigrationMsg(payload []byte, from topology.Location, e2e bo
 		if err != nil {
 			return
 		}
-		key := migKey{m.AgentID, m.Seq}
-		im := n.liveIn(key, wire.MsgReaction, m.Index, from)
+		key := inKey{migKey{m.AgentID, m.Seq}, from}
+		im := n.liveIn(key, wire.MsgReaction, m.Index)
 		if im == nil {
 			return
 		}
@@ -469,13 +495,12 @@ func (n *Node) acceptMigrationMsg(payload []byte, from topology.Location, e2e bo
 
 // recvState opens (or re-acks) an inbound transfer.
 func (n *Node) recvState(st wire.StateMsg, from topology.Location, e2e bool) {
-	key := migKey{st.AgentID, st.Seq}
+	key := inKey{migKey{st.AgentID, st.Seq}, from}
 	if _, finished := n.done[key]; finished {
 		n.ackIn(from, key, wire.MsgState, 0, e2e)
 		return
 	}
 	if im, ok := n.in[key]; ok {
-		im.from = from
 		n.touchIn(im, wire.MsgState, 0)
 		return
 	}
@@ -491,7 +516,6 @@ func (n *Node) recvState(st wire.StateMsg, from topology.Location, e2e bool) {
 	n.reserve++
 	im := &inMigration{
 		key:      key,
-		from:     from,
 		st:       st,
 		code:     make(map[uint8][CodeBlockSize]byte),
 		heapSeen: make(map[uint8]bool),
@@ -506,13 +530,12 @@ func (n *Node) recvState(st wire.StateMsg, from topology.Location, e2e bool) {
 
 // liveIn fetches the open transfer for a data message, re-acking messages
 // that belong to an already-finalized transfer.
-func (n *Node) liveIn(key migKey, t wire.MsgType, idx uint8, from topology.Location) *inMigration {
+func (n *Node) liveIn(key inKey, t wire.MsgType, idx uint8) *inMigration {
 	if im, ok := n.in[key]; ok {
-		im.from = from
 		return im
 	}
 	if _, finished := n.done[key]; finished {
-		n.ackIn(from, key, t, idx, n.cfg.EndToEndMigration)
+		n.ackIn(key.from, key, t, idx, n.cfg.EndToEndMigration)
 	}
 	return nil
 }
@@ -521,7 +544,7 @@ func (n *Node) liveIn(key migKey, t wire.MsgType, idx uint8, from topology.Locat
 // transfer is complete.
 func (n *Node) touchIn(im *inMigration, t wire.MsgType, idx uint8) {
 	if !im.e2e {
-		n.ackIn(im.from, im.key, t, idx, false)
+		n.ackIn(im.key.from, im.key, t, idx, false)
 	}
 	if im.finalizing {
 		return
@@ -541,7 +564,7 @@ func (n *Node) touchIn(im *inMigration, t wire.MsgType, idx uint8) {
 
 // ackIn sends one acknowledgment back to the previous hop (or, end-to-end,
 // the completion ack back to the origin).
-func (n *Node) ackIn(to topology.Location, key migKey, t wire.MsgType, idx uint8, e2e bool) {
+func (n *Node) ackIn(to topology.Location, key inKey, t wire.MsgType, idx uint8, e2e bool) {
 	ack := wire.AckMsg{AgentID: key.agentID, Seq: key.seq, Of: t, Index: idx}
 	if e2e {
 		ack.Of, ack.Index = wire.MsgState, 0xff
@@ -594,7 +617,7 @@ func (n *Node) finalizeIn(im *inMigration) {
 	n.rememberDone(im.key)
 	if im.e2e {
 		// End-to-end mode: one completion ack, routed back to the origin.
-		n.ackIn(im.from, im.key, wire.MsgState, 0xff, true)
+		n.ackIn(im.key.from, im.key, wire.MsgState, 0xff, true)
 	}
 
 	st := im.st
@@ -657,7 +680,10 @@ func (n *Node) finalizeIn(im *inMigration) {
 		rec.state = AgentReady
 		a.Condition = 1
 		n.enqueue(rec)
-		n.noteArrival(id, st.Kind, im.from)
+		if isClone && n.tracker != nil {
+			n.tracker.cloned(n.loc, st.AgentID, id)
+		}
+		n.noteArrival(id, st.Kind, im.key.from)
 		return
 	}
 	// Relay: keep the agent suspended and continue toward the final
@@ -691,7 +717,7 @@ func (n *Node) admitRecord(a *vm.Agent) (*record, error) {
 // rememberDone records a finalized transfer so retransmitted stragglers
 // are re-acked instead of reopening the transfer. Entries are garbage
 // collected after a grace period.
-func (n *Node) rememberDone(key migKey) {
+func (n *Node) rememberDone(key inKey) {
 	now := n.sim.Now()
 	n.done[key] = now
 	const grace = 3 * time.Second

@@ -103,15 +103,16 @@ type Node struct {
 
 	migSeq  uint16
 	out     map[migKey]*outMigration
-	in      map[migKey]*inMigration
-	done    map[migKey]time.Duration // recently finalized, for duplicate acks
-	reserve int                      // agent slots held by inbound migrations
+	in      map[inKey]*inMigration
+	done    map[inKey]time.Duration // recently finalized, for duplicate acks
+	reserve int                     // agent slots held by inbound migrations
 
 	reqSeq  uint16
 	remote  map[uint16]*pendingRemote
 	led     int16
 	stats   NodeStats
 	trace   *Trace
+	tracker *agentTracker // deployment-wide agent registry; nil for bare nodes
 	stopped bool
 }
 
@@ -132,8 +133,8 @@ func NewNode(s *sim.Sim, medium *radio.Medium, loc topology.Location, nodeIndex 
 		agents:    make(map[uint16]*record),
 		nodeIndex: nodeIndex,
 		out:       make(map[migKey]*outMigration),
-		in:        make(map[migKey]*inMigration),
-		done:      make(map[migKey]time.Duration),
+		in:        make(map[inKey]*inMigration),
+		done:      make(map[inKey]time.Duration),
 		remote:    make(map[uint16]*pendingRemote),
 		trace:     trace,
 	}
@@ -162,6 +163,9 @@ func (n *Node) Stop() {
 
 // Loc returns the node's location (which is its address, §2.2).
 func (n *Node) Loc() topology.Location { return n.loc }
+
+// Config returns the node's effective configuration (defaults applied).
+func (n *Node) Config() Config { return n.cfg }
 
 // Space returns the local tuple space (for inspection and tests).
 func (n *Node) Space() *tuplespace.Space { return n.space }
@@ -222,6 +226,9 @@ func (n *Node) KillAgent(id uint16) bool {
 		return false
 	}
 	rec.state = AgentDead
+	if n.tracker != nil {
+		n.tracker.finish(n.loc, id, false, nil)
+	}
 	n.reclaim(id)
 	return true
 }
@@ -282,6 +289,9 @@ func (n *Node) reclaim(id uint16) {
 }
 
 func (n *Node) noteArrival(id uint16, kind wire.MigKind, from topology.Location) {
+	if n.tracker != nil {
+		n.tracker.arrived(n.loc, id, kind, from)
+	}
 	if n.trace != nil && n.trace.AgentArrived != nil {
 		n.trace.AgentArrived(n.loc, id, kind, from)
 	}

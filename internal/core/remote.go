@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"time"
 
 	"github.com/agilla-go/agilla/internal/radio"
@@ -9,6 +10,21 @@ import (
 	"github.com/agilla-go/agilla/internal/vm"
 	"github.com/agilla-go/agilla/internal/wire"
 )
+
+// ErrRemoteTimeout reports that a remote tuple space operation exhausted
+// its retransmission budget without hearing a reply. Callers distinguish
+// it from an OK=false reply, which means the operation executed but found
+// no matching tuple.
+var ErrRemoteTimeout = errors.New("core: remote operation timed out")
+
+// RemoteOpBudget returns the worst-case wall time before a remote
+// operation initiated with config c resolves: every transmission waits out
+// the full timeout. Base-station tools use it to bound how long to run the
+// simulation before a reply (or the timeout failure) must have arrived.
+func RemoteOpBudget(c Config) time.Duration {
+	c = c.withDefaults()
+	return c.RemoteTimeout * time.Duration(1+c.RemoteRetries)
+}
 
 // The remote tuple space operation manager (Figure 4). Unlike migration,
 // remote operations use unacknowledged end-to-end communication: "a request
@@ -23,7 +39,7 @@ import (
 type pendingRemote struct {
 	reqID    uint16
 	rec      *record
-	done     func(wire.RemoteReply)
+	done     func(wire.RemoteReply, error)
 	kind     vm.RemoteKind
 	dest     topology.Location
 	req      wire.RemoteRequest
@@ -93,7 +109,7 @@ func (n *Node) onRemoteTimeout(pr *pendingRemote) {
 	n.stats.RemoteFail++
 	if pr.rec == nil {
 		if pr.done != nil {
-			pr.done(wire.RemoteReply{ReqID: pr.reqID, OK: false})
+			pr.done(wire.RemoteReply{ReqID: pr.reqID, OK: false}, ErrRemoteTimeout)
 		}
 		return
 	}
@@ -162,7 +178,7 @@ func (n *Node) settleRemote(pr *pendingRemote, reply wire.RemoteReply) {
 	}
 	if pr.rec == nil {
 		if pr.done != nil {
-			pr.done(reply)
+			pr.done(reply, nil)
 		}
 		return
 	}

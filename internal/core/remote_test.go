@@ -297,7 +297,7 @@ func TestBaseStationRemoteOpAPI(t *testing.T) {
 	var got *wire.RemoteReply
 	d.Base.RemoteOp(wire.OpRrdp, topology.Loc(2, 1), tuplespace.Tuple{},
 		tuplespace.Tmpl(tuplespace.TypeV(tuplespace.TypeString)),
-		func(r wire.RemoteReply) { got = &r })
+		func(r wire.RemoteReply, _ error) { got = &r })
 	runFor(t, d, 2*time.Second)
 
 	if got == nil || !got.OK {

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"github.com/agilla-go/agilla/internal/topology"
+	"github.com/agilla-go/agilla/internal/wire"
+)
+
+// AgentInfo is the deployment-wide view of one agent's life: where it was
+// last hosted, how far it has travelled, how many clones it spawned, and
+// how it ended. It backs the public agent handles, which replace callers'
+// hand-rolled polling over per-node state.
+//
+// The duplicate-tolerant failure semantics (§3.2) mean an ID can briefly
+// name two live copies; the tracker follows the most recent event, which
+// is the copy that made progress.
+type AgentInfo struct {
+	// ID is the network-unique agent ID.
+	ID uint16
+	// Parent is the agent this one was cloned from, 0 for originals.
+	Parent uint16
+	// Loc is the last node known to host the agent. While a multi-hop
+	// transfer is relaying, Loc lags at the last node that reported an
+	// event for the agent.
+	Loc topology.Location
+	// State is the coarse life-cycle state. Prefer Deployment.AgentRecord,
+	// which refines it with the hosting node's live engine state.
+	State AgentState
+	// Hops counts successfully completed hop transfers (sender-confirmed),
+	// including relay hops of multi-hop moves and injections. Clone
+	// transfers are not counted: they travel under the parent's ID while
+	// the parent stays put.
+	Hops int
+	// Clones counts clones this agent has spawned (local and remote).
+	Clones int
+	// Halted reports a voluntary halt; Err carries the fatal error for
+	// agents that died. Both false/nil while the agent lives.
+	Halted bool
+	Err    error
+	// BornAt and DoneAt are virtual timestamps; DoneAt is zero while the
+	// agent lives.
+	BornAt time.Duration
+	DoneAt time.Duration
+}
+
+// Done reports whether the agent's life is over (halted, died, or killed).
+func (i AgentInfo) Done() bool { return i.State == AgentDead }
+
+// agentTracker is the deployment-level agent registry. It is fed by
+// direct hooks in the engine and migration code (not via Trace, so user
+// trace callbacks stay free for callers) and is only touched from
+// simulator events — no locking needed.
+type agentTracker struct {
+	now    func() time.Duration
+	agents map[uint16]*AgentInfo
+}
+
+func newAgentTracker(now func() time.Duration) *agentTracker {
+	return &agentTracker{now: now, agents: make(map[uint16]*AgentInfo)}
+}
+
+func (t *agentTracker) ensure(id uint16) *AgentInfo {
+	info, ok := t.agents[id]
+	if !ok {
+		info = &AgentInfo{ID: id, BornAt: t.now()}
+		t.agents[id] = info
+	}
+	return info
+}
+
+// born records a brand-new agent entering the system under id. Agent IDs
+// are 16 bits and a node's counter wraps, so a creation event landing on
+// a dead record means the ID was reused — start a fresh lifetime instead
+// of resurrecting (and merging stats with) the dead one. A live record
+// is kept: that is the same lifetime (e.g. the arrival completing an
+// injection this tracker already opened).
+func (t *agentTracker) born(id uint16) *AgentInfo {
+	if info, ok := t.agents[id]; ok && info.State != AgentDead {
+		return info
+	}
+	info := &AgentInfo{ID: id, BornAt: t.now()}
+	t.agents[id] = info
+	return info
+}
+
+// arrived records an agent materializing on a node: injection completion,
+// local creation, move arrival, or clone instantiation.
+func (t *agentTracker) arrived(node topology.Location, id uint16, kind wire.MigKind, _ topology.Location) {
+	var info *AgentInfo
+	if kind == wire.MigInject {
+		info = t.born(id) // creation mints the ID; moves reuse a live one
+	} else {
+		info = t.ensure(id)
+	}
+	info.Loc = node
+	info.State = AgentReady
+}
+
+// injected records a fresh agent leaving its injecting node.
+func (t *agentTracker) injected(node topology.Location, id uint16) {
+	info := t.born(id)
+	info.Loc = node
+	info.State = AgentMigrating
+}
+
+// migStarted records a transfer of a live agent leaving node.
+func (t *agentTracker) migStarted(node topology.Location, id uint16) {
+	info := t.ensure(id)
+	info.Loc = node
+	info.State = AgentMigrating
+}
+
+// hopDone records the sender-side conclusion of one hop transfer.
+func (t *agentTracker) hopDone(node topology.Location, id uint16, ok bool) {
+	info := t.ensure(id)
+	if ok {
+		info.Hops++
+		return
+	}
+	// Failed handoff: the agent resumes on the sending node (which may be
+	// a relay) with condition zero.
+	info.Loc = node
+	info.State = AgentReady
+}
+
+// cloned records a clone instantiation, attributing it to the parent.
+// The clone's ID is freshly minted, so a dead record under it is a
+// previous lifetime of a wrapped ID.
+func (t *agentTracker) cloned(node topology.Location, parent, clone uint16) {
+	t.ensure(parent).Clones++
+	info := t.born(clone)
+	info.Parent = parent
+	info.Loc = node
+	info.State = AgentReady
+}
+
+func (t *agentTracker) finish(node topology.Location, id uint16, halted bool, err error) {
+	info := t.ensure(id)
+	info.Loc = node
+	info.State = AgentDead
+	info.Halted = halted
+	info.Err = err
+	if info.DoneAt == 0 {
+		info.DoneAt = t.now()
+	}
+}
+
+// AgentRecord returns the tracked info for an agent, refining the coarse
+// state with the hosting node's live engine state when available.
+func (d *Deployment) AgentRecord(id uint16) (AgentInfo, bool) {
+	info, ok := d.tracker.agents[id]
+	if !ok {
+		return AgentInfo{}, false
+	}
+	out := *info
+	if n := d.nodes[out.Loc]; n != nil && out.State != AgentDead {
+		if st, hosted := n.AgentInfo(id); hosted {
+			out.State = st
+		}
+	}
+	return out, true
+}
+
+// AgentRecords returns every tracked agent, sorted by ID.
+func (d *Deployment) AgentRecords() []AgentInfo {
+	out := make([]AgentInfo, 0, len(d.tracker.agents))
+	for id := range d.tracker.agents {
+		info, _ := d.AgentRecord(id)
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FindAgent returns the node currently hosting the agent, or nil if it is
+// in flight, dead, or unknown.
+func (d *Deployment) FindAgent(id uint16) *Node {
+	info, ok := d.tracker.agents[id]
+	if !ok {
+		return nil
+	}
+	if n := d.nodes[info.Loc]; n != nil {
+		if _, hosted := n.AgentInfo(id); hosted {
+			return n
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestGridLayout(t *testing.T) {
+	l := GridLayout(5, 5)
+	if err := l.Validate(Loc(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Nodes) != 25 || l.Gateway != Loc(1, 1) {
+		t.Fatalf("nodes=%d gateway=%v", len(l.Nodes), l.Gateway)
+	}
+	if !l.IsConnected() {
+		t.Fatal("grid must be connected")
+	}
+}
+
+func TestLineLayout(t *testing.T) {
+	l := LineLayout(7)
+	if err := l.Validate(Loc(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsConnected() {
+		t.Fatal("line must be connected")
+	}
+	// Interior nodes have exactly two link partners.
+	mid := l.Nodes[3]
+	n := 0
+	for _, o := range l.Nodes {
+		if l.Links.Connected(mid, o) {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("interior line node has %d links, want 2", n)
+	}
+}
+
+func TestRingLayout(t *testing.T) {
+	for _, n := range []int{3, 8, 12, 40} {
+		l := RingLayout(n)
+		if err := l.Validate(Loc(0, 0)); err != nil {
+			t.Fatalf("ring %d: %v", n, err)
+		}
+		if len(l.Nodes) != n {
+			t.Fatalf("ring %d: %d nodes", n, len(l.Nodes))
+		}
+		if !l.IsConnected() {
+			t.Fatalf("ring %d disconnected", n)
+		}
+		// Every node has exactly two ring neighbors.
+		for i, u := range l.Nodes {
+			deg := 0
+			for j, v := range l.Nodes {
+				if i == j {
+					continue
+				}
+				if l.Links.Connected(u, v) != l.Links.Connected(v, u) {
+					t.Fatalf("ring %d: asymmetric link %v-%v", n, u, v)
+				}
+				if l.Links.Connected(u, v) {
+					deg++
+				}
+			}
+			if deg != 2 {
+				t.Fatalf("ring %d: node %v has degree %d", n, u, deg)
+			}
+		}
+	}
+}
+
+func TestRandomDiskLayout(t *testing.T) {
+	a := RandomDiskLayout(16, 8, 2.5, 7)
+	b := RandomDiskLayout(16, 8, 2.5, 7)
+	if err := a.Validate(Loc(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsConnected() {
+		t.Fatal("sampler should reject disconnected draws at this density")
+	}
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatal("same seed, different node counts")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatalf("same seed diverged at node %d: %v vs %v", i, a.Nodes[i], b.Nodes[i])
+		}
+	}
+	// More nodes than the region has integer cells: clamp instead of
+	// spinning the rejection sampler forever.
+	over := RandomDiskLayout(50, 4, 2.5, 7)
+	if len(over.Nodes) != 16 {
+		t.Fatalf("overfull region: %d nodes, want clamp to 16", len(over.Nodes))
+	}
+
+	c := RandomDiskLayout(16, 8, 2.5, 8)
+	same := true
+	for i := range a.Nodes {
+		if a.Nodes[i] != c.Nodes[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical placement")
+	}
+}
+
+func TestCustomLayoutGatewayDefault(t *testing.T) {
+	l := CustomLayout("test", []Location{Loc(5, 5), Loc(1, 2), Loc(3, 3)}, Disk{Range: 3})
+	if l.Gateway != Loc(1, 2) {
+		t.Fatalf("gateway = %v, want closest to base (1,2)", l.Gateway)
+	}
+	if err := l.Validate(Loc(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutValidateRejects(t *testing.T) {
+	dup := CustomLayout("dup", []Location{Loc(1, 1), Loc(1, 1)}, Grid{})
+	if err := dup.Validate(Loc(0, 0)); err == nil {
+		t.Fatal("duplicate nodes must fail validation")
+	}
+	onBase := CustomLayout("base", []Location{Loc(0, 0)}, Grid{})
+	if err := onBase.Validate(Loc(0, 0)); err == nil {
+		t.Fatal("node on base must fail validation")
+	}
+	empty := Layout{Name: "empty", Links: Grid{}}
+	if err := empty.Validate(Loc(0, 0)); err == nil {
+		t.Fatal("empty layout must fail validation")
+	}
+	badGW := Layout{Name: "gw", Nodes: []Location{Loc(1, 1)}, Links: Grid{}, Gateway: Loc(9, 9)}
+	if err := badGW.Validate(Loc(0, 0)); err == nil {
+		t.Fatal("gateway outside nodes must fail validation")
+	}
+}
+
+func TestLayoutBounds(t *testing.T) {
+	l := CustomLayout("b", []Location{Loc(2, 3), Loc(7, 1), Loc(4, 9)}, Disk{Range: 100})
+	minX, minY, maxX, maxY := l.Bounds()
+	if minX != 2 || minY != 1 || maxX != 7 || maxY != 9 {
+		t.Fatalf("bounds = %d,%d,%d,%d", minX, minY, maxX, maxY)
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	a := NewAdjacency()
+	a.Link(Loc(1, 1), Loc(2, 2))
+	a.Link(Loc(1, 1), Loc(1, 1)) // self-link ignored
+	if !a.Connected(Loc(1, 1), Loc(2, 2)) || !a.Connected(Loc(2, 2), Loc(1, 1)) {
+		t.Fatal("link must be bidirectional")
+	}
+	if a.Connected(Loc(1, 1), Loc(1, 1)) {
+		t.Fatal("self must not connect")
+	}
+	if a.Connected(Loc(2, 2), Loc(3, 3)) {
+		t.Fatal("unlinked pair must not connect")
+	}
+}

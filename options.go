@@ -1,0 +1,136 @@
+package agilla
+
+import (
+	"fmt"
+
+	"github.com/agilla-go/agilla/internal/core"
+	"github.com/agilla-go/agilla/internal/radio"
+)
+
+// RadioParams configures the radio latency/loss model. LossyRadio returns
+// the calibrated testbed model, ReliableRadio a zero-loss variant.
+type RadioParams = radio.Params
+
+// LossyRadio returns the calibrated lossy CC1000 model that regenerates
+// the paper's Figures 9-11. It is the default.
+func LossyRadio() RadioParams { return radio.Lossy() }
+
+// ReliableRadio returns a zero-loss channel with CC1000 timing; useful
+// for tests and latency measurements that should not be confounded by
+// loss.
+func ReliableRadio() RadioParams { return radio.ZeroLoss() }
+
+// settings is the resolved configuration behind New.
+type settings struct {
+	topo  Topology
+	seed  int64
+	radio *radio.Params
+	field Field
+	node  NodeConfig
+}
+
+// Option configures New.
+type Option func(*settings)
+
+// WithTopology selects the deployment layout. The default is the paper's
+// 5×5 grid.
+func WithTopology(t Topology) Option { return func(s *settings) { s.topo = t } }
+
+// WithSeed sets the seed driving all randomness — radio loss, beacon
+// offsets, and randomized topology placement. Runs are reproducible per
+// seed.
+func WithSeed(seed int64) Option { return func(s *settings) { s.seed = seed } }
+
+// WithRadio selects the radio latency/loss model.
+func WithRadio(p RadioParams) Option {
+	return func(s *settings) { cp := p; s.radio = &cp }
+}
+
+// WithReliableRadio is shorthand for WithRadio(ReliableRadio()).
+func WithReliableRadio() Option { return WithRadio(ReliableRadio()) }
+
+// WithField drives sensor readings over space and time (default:
+// everything reads 0).
+func WithField(f Field) Option { return func(s *settings) { s.field = f } }
+
+// WithNodeConfig overrides per-mote middleware budgets and protocol
+// timers; zero fields keep the paper's defaults from §3.2.
+func WithNodeConfig(cfg NodeConfig) Option {
+	return func(s *settings) { s.node = cfg }
+}
+
+// New builds a deployment from functional options. With no options it
+// builds the paper's testbed: a 5×5 MICA2 grid with the calibrated lossy
+// CC1000 model, a base station at (0,0) bridged to the gateway mote
+// (1,1), and per-node budgets from §3.2 (4 agents, 440 B instruction
+// memory, 600 B tuple space, 400 B reaction registry).
+func New(opts ...Option) (*Network, error) {
+	var s settings
+	for _, opt := range opts {
+		opt(&s)
+	}
+	if s.topo.realize == nil {
+		// No topology given, or the zero Topology: both mean "the
+		// default testbed", mirroring Scenario.Topology's zero value.
+		s.topo = Grid(5, 5)
+	}
+	layout, err := s.topo.realize(s.seed)
+	if err != nil {
+		return nil, fmt.Errorf("agilla: %w", err)
+	}
+	d, err := core.NewDeployment(core.DeploymentSpec{
+		Layout: layout,
+		Seed:   s.seed,
+		Radio:  s.radio,
+		Node:   s.node,
+		Field:  s.field,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("agilla: %w", err)
+	}
+	return &Network{d: d}, nil
+}
+
+// Options configures a simulated deployment for NewNetwork. It predates
+// the functional options of New and remains as a compatibility shim; the
+// zero value builds the paper's testbed.
+type Options struct {
+	// Width and Height size the mote grid (default 5×5).
+	Width, Height int
+	// Seed drives all randomness; runs are reproducible per seed.
+	Seed int64
+	// Reliable selects a zero-loss radio (default: the calibrated lossy
+	// model that regenerates the paper's Figures 9-11).
+	Reliable bool
+	// Field drives sensor readings (default: everything reads 0).
+	Field Field
+	// NodeConfig overrides per-mote middleware budgets and protocol
+	// timers; nil selects the paper's defaults.
+	NodeConfig *core.Config
+}
+
+// NewNetwork builds a grid deployment per the options. New code should
+// prefer New with functional options, which also unlocks non-grid
+// topologies.
+func NewNetwork(opts Options) (*Network, error) {
+	if opts.Width <= 0 {
+		opts.Width = 5
+	}
+	if opts.Height <= 0 {
+		opts.Height = 5
+	}
+	o := []Option{
+		WithTopology(Grid(opts.Width, opts.Height)),
+		WithSeed(opts.Seed),
+	}
+	if opts.Reliable {
+		o = append(o, WithReliableRadio())
+	}
+	if opts.Field != nil {
+		o = append(o, WithField(opts.Field))
+	}
+	if opts.NodeConfig != nil {
+		o = append(o, WithNodeConfig(*opts.NodeConfig))
+	}
+	return New(o...)
+}
