@@ -38,10 +38,23 @@
 // different geometry. The zero-argument New() builds the paper's testbed.
 // For whole experiments (topology + field + agents + metrics, swept over
 // seeds in parallel) see Scenario.
+//
+// Hosts interact with a running network through three composable
+// surfaces:
+//
+//   - Space — a per-node tuple space handle from nw.Space(loc), with
+//     direct probes (Out/Rdp/Inp/Count/All) and reactive Watch(Template)
+//     subscriptions delivering matching insertions on a channel.
+//   - RemoteClient — the base station's over-the-air client from
+//     nw.Remote(), exposing the wire operations Rout/Rinp/Rrdp with
+//     deadlines derived from the node configuration, plus a network-wide
+//     Query that fans rrdp out across every mote.
+//   - Events — typed middleware events (agent arrivals and deaths,
+//     migrations, remote ops, tuple activity, reaction firings) from
+//     nw.Events(filters...), replacing raw trace callbacks.
 package agilla
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
@@ -51,7 +64,6 @@ import (
 	"github.com/agilla-go/agilla/internal/sensor"
 	"github.com/agilla-go/agilla/internal/topology"
 	"github.com/agilla-go/agilla/internal/tuplespace"
-	"github.com/agilla-go/agilla/internal/wire"
 )
 
 // Location is a node address: Agilla addresses nodes by physical location
@@ -94,11 +106,19 @@ type Rect = firesim.Rect
 // Node is one simulated mote running the middleware.
 type Node = core.Node
 
-// Trace observes middleware events across the network.
-type Trace = core.Trace
-
 // AgentState reports where an agent is in its life cycle.
 type AgentState = core.AgentState
+
+// Agent life-cycle states, as reported by Agent.State.
+const (
+	AgentReady     = core.AgentReady     // runnable, in the engine's queue
+	AgentSleeping  = core.AgentSleeping  // executed sleep
+	AgentWaiting   = core.AgentWaiting   // executed wait; resumes on a reaction
+	AgentBlocked   = core.AgentBlocked   // blocking in/rd with no match
+	AgentMigrating = core.AgentMigrating // suspended while a transfer is in flight
+	AgentRemote    = core.AgentRemote    // awaiting a remote tuple space reply
+	AgentDead      = core.AgentDead      // reclaimed
+)
 
 // AgentInfo is the deployment-wide record behind an Agent handle.
 type AgentInfo = core.AgentInfo
@@ -152,16 +172,9 @@ func Disassemble(code []byte) (string, error) { return asm.Disassemble(code) }
 
 // Network is a running Agilla deployment.
 type Network struct {
-	d *core.Deployment
+	d  *core.Deployment
+	ev events
 }
-
-// Deployment exposes the underlying deployment for advanced use (the
-// benchmark harness drives it directly).
-func (nw *Network) Deployment() *core.Deployment { return nw.d }
-
-// Trace returns the network-wide event trace; set its fields to observe
-// arrivals, deaths, migrations, and tuple activity.
-func (nw *Network) Trace() *Trace { return nw.d.Trace }
 
 // Topology returns the name of the deployment's layout.
 func (nw *Network) Topology() string { return nw.d.Layout().Name }
@@ -170,9 +183,11 @@ func (nw *Network) Topology() string { return nw.d.Layout().Name }
 // the base station).
 func (nw *Network) Locations() []Location { return nw.d.Locations() }
 
-// GridLocations is a deprecated alias for Locations, kept for callers
-// written against the grid-only API.
-func (nw *Network) GridLocations() []Location { return nw.d.Locations() }
+// Field returns the sensor field driving this deployment's readings, or
+// nil when all sensors read 0. A scenario's Play hook uses it to reach
+// the environment (e.g. to ignite a *Fire) without carrying it
+// separately.
+func (nw *Network) Field() Field { return nw.d.Field() }
 
 // Size returns the bounding-box dimensions of the mote layout; for a
 // w×h grid it returns (w, h).
@@ -234,79 +249,39 @@ func (nw *Network) Node(loc Location) *Node { return nw.d.Node(loc) }
 // Base returns the base station node.
 func (nw *Network) Base() *Node { return nw.d.Base }
 
-// Out inserts a tuple directly into the tuple space at loc (a test and
-// tooling convenience; agents use the out instruction).
-func (nw *Network) Out(loc Location, t Tuple) error {
-	n := nw.d.Node(loc)
-	if n == nil {
-		return fmt.Errorf("agilla: no node at %v", loc)
-	}
-	return n.Space().Out(t)
-}
+// Out inserts a tuple directly into the tuple space at loc.
+//
+// Deprecated: use nw.Space(loc).Out(t).
+func (nw *Network) Out(loc Location, t Tuple) error { return nw.Space(loc).Out(t) }
 
 // Read copies the first tuple at loc matching the template.
-func (nw *Network) Read(loc Location, p Template) (Tuple, bool) {
-	n := nw.d.Node(loc)
-	if n == nil {
-		return Tuple{}, false
-	}
-	return n.Space().Rdp(p)
-}
+//
+// Deprecated: use nw.Space(loc).Rdp(p).
+func (nw *Network) Read(loc Location, p Template) (Tuple, bool) { return nw.Space(loc).Rdp(p) }
 
 // Take removes and returns the first tuple at loc matching the template.
-func (nw *Network) Take(loc Location, p Template) (Tuple, bool) {
-	n := nw.d.Node(loc)
-	if n == nil {
-		return Tuple{}, false
-	}
-	return n.Space().Inp(p)
-}
+//
+// Deprecated: use nw.Space(loc).Inp(p).
+func (nw *Network) Take(loc Location, p Template) (Tuple, bool) { return nw.Space(loc).Inp(p) }
 
 // Count returns how many tuples at loc match the template.
-func (nw *Network) Count(loc Location, p Template) int {
-	n := nw.d.Node(loc)
-	if n == nil {
-		return 0
-	}
-	return n.Space().Count(p)
-}
+//
+// Deprecated: use nw.Space(loc).Count(p).
+func (nw *Network) Count(loc Location, p Template) int { return nw.Space(loc).Count(p) }
 
 // Tuples returns every tuple stored at loc, in insertion order.
-func (nw *Network) Tuples(loc Location) []Tuple {
-	n := nw.d.Node(loc)
-	if n == nil {
-		return nil
-	}
-	return n.Space().All()
-}
+//
+// Deprecated: use nw.Space(loc).All().
+func (nw *Network) Tuples(loc Location) []Tuple { return nw.Space(loc).All() }
 
 // TotalAgents counts live agents across the network (including in-flight
 // shells occupying slots).
 func (nw *Network) TotalAgents() int { return nw.d.TotalAgents() }
 
-// RemoteRead performs a base-station rrdp against loc, running the
-// simulation until the reply arrives or the operation's retransmission
-// budget (derived from the node configuration's remote-op timers) is
-// exhausted. A timeout is reported as an error wrapping ErrRemoteTimeout;
-// ok=false with a nil error means the operation executed but found no
-// matching tuple.
+// RemoteRead performs a base-station rrdp against loc.
+//
+// Deprecated: use nw.Remote().Rrdp(loc, p), which sits beside the other
+// wire operations and the network-wide Query.
 func (nw *Network) RemoteRead(loc Location, p Template) (Tuple, bool, error) {
-	var reply *wire.RemoteReply
-	var opErr error
-	nw.d.Base.RemoteOp(wire.OpRrdp, loc, Tuple{}, p, func(r wire.RemoteReply, err error) {
-		reply, opErr = &r, err
-	})
-	// The remote manager itself resolves (reply or timeout failure) within
-	// the budget; the slack covers reply-delivery event latency.
-	deadline := core.RemoteOpBudget(nw.d.Base.Config()) + time.Second
-	if _, err := nw.d.Sim.RunUntil(func() bool { return reply != nil }, nw.d.Sim.Now()+deadline); err != nil {
-		return Tuple{}, false, err
-	}
-	if reply == nil || errors.Is(opErr, core.ErrRemoteTimeout) {
-		return Tuple{}, false, fmt.Errorf("agilla: remote read of %v: %w", loc, ErrRemoteTimeout)
-	}
-	if opErr != nil {
-		return Tuple{}, false, opErr
-	}
-	return reply.Tuple, reply.OK, nil
+	return nw.Remote().Rrdp(loc, p)
 }

@@ -54,6 +54,8 @@ func TestInjectBadProgram(t *testing.T) {
 	}
 }
 
+// TestTupleHelpers exercises the deprecated Network shims, which must
+// keep delegating to the Space handles until they are removed.
 func TestTupleHelpers(t *testing.T) {
 	nw, err := agilla.NewNetwork(agilla.Options{Width: 2, Height: 1, Reliable: true})
 	if err != nil {
@@ -72,6 +74,9 @@ func TestTupleHelpers(t *testing.T) {
 	}
 	if _, ok := nw.Read(loc, agilla.Tmpl(agilla.Int(5), agilla.Str("ab"))); ok {
 		t.Error("tuple should be gone after Take")
+	}
+	if got, want := len(nw.Tuples(loc)), len(nw.Space(loc).All()); got != want {
+		t.Errorf("Tuples shim = %d entries, Space.All = %d", got, want)
 	}
 }
 
@@ -141,8 +146,8 @@ func TestDeterminism(t *testing.T) {
 			t.Fatal(err)
 		}
 		out := ""
-		for _, loc := range nw.GridLocations() {
-			for _, tup := range nw.Tuples(loc) {
+		for _, loc := range nw.Locations() {
+			for _, tup := range nw.Space(loc).All() {
 				out += loc.String() + tup.String() + ";"
 			}
 		}

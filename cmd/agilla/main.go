@@ -102,8 +102,9 @@ func run() error {
 		fire.Bounds = &b
 	}
 
+	finishWatch := func() {}
 	if *watch {
-		attachWatch(nw)
+		finishWatch = attachWatch(nw)
 	}
 
 	fmt.Printf("warming up %s (seed %d)...\n", nw.Topology(), *seed)
@@ -145,6 +146,7 @@ func run() error {
 	if err := nw.Run(*runFor); err != nil {
 		return err
 	}
+	finishWatch()
 
 	fmt.Printf("\n=== network state at t=%v ===\n", nw.Now())
 	for _, loc := range append([]agilla.Location{agilla.Loc(0, 0)}, nw.Locations()...) {
@@ -153,7 +155,7 @@ func run() error {
 			continue
 		}
 		agentIDs := node.AgentIDs()
-		tuples := nw.Tuples(loc)
+		tuples := nw.Space(loc).All()
 		if len(agentIDs) == 0 && len(tuples) <= 4 {
 			continue // quiet node: just context tuples
 		}
@@ -166,13 +168,28 @@ func run() error {
 	return nil
 }
 
-func attachWatch(nw *agilla.Network) {
-	tr := nw.Trace()
-	tr.AgentHalted = func(node agilla.Location, id uint16) {
-		fmt.Printf("%12v  halt    agent %d at %v\n", nw.Now(), id, node)
-	}
-	tr.AgentDied = func(node agilla.Location, id uint16, err error) {
-		fmt.Printf("%12v  died    agent %d at %v: %v\n", nw.Now(), id, node, err)
+// attachWatch subscribes to the middleware event stream and prints each
+// event as it happens. The returned func ends the subscription and waits
+// for the printer to drain, so watch lines never interleave with the
+// final network dump.
+func attachWatch(nw *agilla.Network) (finish func()) {
+	events := nw.Events(agilla.OfKind(
+		agilla.EventAgentArrived,
+		agilla.EventAgentHalted,
+		agilla.EventAgentDied,
+		agilla.EventRemoteDone,
+		agilla.EventReactionFired,
+	))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for e := range events {
+			fmt.Printf("%12v  %-17v  %v\n", e.When(), e.Kind(), e)
+		}
+	}()
+	return func() {
+		nw.Close()
+		<-done
 	}
 }
 

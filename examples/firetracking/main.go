@@ -41,8 +41,8 @@ func main() {
 	}
 	covered := func() int {
 		n := 0
-		for _, loc := range nw.GridLocations() {
-			if nw.Count(loc, agilla.Tmpl(agilla.Str("vst"))) > 0 {
+		for _, loc := range nw.Locations() {
+			if nw.Space(loc).Count(agilla.Tmpl(agilla.Str("vst"))) > 0 {
 				n++
 			}
 		}
@@ -68,14 +68,17 @@ func main() {
 	fmt.Println("fire ignited at (4,4)")
 
 	// Phase 4 — the detector routs <"fir",(4,4)> to the base; the
-	// tracker reacts, clones to the fire, and recruits neighbors.
+	// tracker reacts, clones to the fire, and recruits neighbors. The
+	// base station's space handle watches for the alert insertion.
 	alert := agilla.Tmpl(agilla.Str("fir"), agilla.TypeV(3))
+	base := nw.Space(agilla.Loc(0, 0))
+	alerts := base.Watch(alert)
 	if ok, err := nw.RunUntil(func() bool {
-		return nw.Count(agilla.Loc(0, 0), alert) > 0
+		return base.Count(alert) > 0
 	}, 5*time.Minute); err != nil || !ok {
 		log.Fatalf("fire never detected (ok=%v err=%v)", ok, err)
 	}
-	fmt.Printf("alert reached the base %.1fs after ignition\n", (nw.Now() - ignited).Seconds())
+	fmt.Printf("alert %v reached the base %.1fs after ignition\n", <-alerts, (nw.Now() - ignited).Seconds())
 
 	// Give the swarm a minute, then draw the map.
 	if err := nw.Run(60 * time.Second); err != nil {
@@ -92,10 +95,10 @@ func main() {
 			switch {
 			case fire.Burning(loc, nw.Now()):
 				row.WriteString(" #")
-			case nw.Count(loc, trk) > 0:
+			case nw.Space(loc).Count(trk) > 0:
 				row.WriteString(" T")
 				trackers++
-			case nw.Count(loc, agilla.Tmpl(agilla.Str("vst"))) > 0:
+			case nw.Space(loc).Count(agilla.Tmpl(agilla.Str("vst"))) > 0:
 				row.WriteString(" d")
 			default:
 				row.WriteString(" .")

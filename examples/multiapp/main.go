@@ -34,6 +34,11 @@ func main() {
 		log.Fatal(err)
 	}
 	mote := agilla.Loc(2, 2)
+	space := nw.Space(mote)
+
+	// Typed events replace guesswork about *why* the handoff happened:
+	// the reaction-fired event names the agent whose reaction matched.
+	reactions := nw.Events(agilla.OfKind(agilla.EventReactionFired))
 
 	// Application 1: habitat monitoring. Samples the microphone every
 	// couple of seconds and logs readings locally — but registers a
@@ -84,7 +89,7 @@ func main() {
 	}
 	sound := agilla.Tmpl(agilla.TypeV(agilla.TypeOfSensor(agilla.SensorSound)))
 	fmt.Printf("both applications share mote %v: %d agents, %d wildlife readings logged\n",
-		mote, nw.Node(mote).NumAgents(), nw.Count(mote, sound))
+		mote, nw.Node(mote).NumAgents(), space.Count(sound))
 
 	// Disaster strikes the mote itself.
 	fire.Ignite(mote, nw.Now())
@@ -97,7 +102,10 @@ func main() {
 	if !gone {
 		log.Fatal("habitat agent never yielded")
 	}
-	fmt.Println("the detector out'd a fire tuple; the habitat agent's reaction fired")
+	// The event stream recorded the exact moment the coordination
+	// happened: the detector's fire tuple triggered the habitat agent's
+	// registered reaction.
+	fmt.Printf("observed: %v\n", <-reactions)
 	fmt.Printf("habitat agent %d killed itself — the two never knew each other's names\n", habitatAgent.ID())
-	fmt.Printf("fire tuple present: %v\n", nw.Count(mote, agilla.Tmpl(agilla.Str("fir"), agilla.TypeV(0))) > 0)
+	fmt.Printf("fire tuple present: %v\n", space.Count(agilla.Tmpl(agilla.Str("fir"), agilla.TypeV(0))) > 0)
 }

@@ -53,9 +53,10 @@ func main() {
 	}
 	fmt.Printf("agent finished after %d hops at %v\n", ag.Hops(), ag.Location())
 
-	// Find the greeting by pattern matching: a template field of string
-	// type is exact-match; a type wildcard matches any location.
-	tup, ok := nw.Read(agilla.Loc(3, 3), agilla.Tmpl(
+	// Find the greeting by pattern matching through the mote's tuple
+	// space handle: a template field of string type is exact-match; a
+	// type wildcard matches any location.
+	tup, ok := nw.Space(agilla.Loc(3, 3)).Rdp(agilla.Tmpl(
 		agilla.Str("hi"),
 		agilla.TypeV(3), // location wildcard
 	))

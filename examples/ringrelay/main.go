@@ -71,7 +71,7 @@ func main() {
 	stamped := 0
 	visited := agilla.Tmpl(agilla.Str("vst"), agilla.TypeV(3)) // <"vst", any location>
 	for _, loc := range ring {
-		if nw.Count(loc, visited) > 0 {
+		if nw.Space(loc).Count(visited) > 0 {
 			stamped++
 		}
 	}

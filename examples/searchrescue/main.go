@@ -32,7 +32,7 @@ func main() {
 	// Three lost hikers activate their beacons.
 	hikers := []agilla.Location{agilla.Loc(2, 4), agilla.Loc(5, 2), agilla.Loc(4, 5)}
 	for _, h := range hikers {
-		if err := nw.Out(h, agilla.T(agilla.Str("hkr"))); err != nil {
+		if err := nw.Space(h).Out(agilla.T(agilla.Str("hkr"))); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -63,15 +63,16 @@ func main() {
 	// Wait until the base has all three reports (the lossy radio may need
 	// a moment; reports can be lost, so the paper's agents would re-sweep).
 	report := agilla.Tmpl(agilla.Str("fnd"), agilla.TypeV(3))
+	base := nw.Space(agilla.Loc(0, 0))
 	found, err := nw.RunUntil(func() bool {
-		return nw.Count(agilla.Loc(0, 0), report) >= len(hikers)
+		return base.Count(report) >= len(hikers)
 	}, 3*time.Minute)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("\nrescue reports at the base station (t=%v):\n", nw.Now())
-	for _, tup := range nw.Tuples(agilla.Loc(0, 0)) {
+	for _, tup := range base.All() {
 		if report.Matches(tup) {
 			fmt.Printf("  hiker located at %v\n", tup.Fields[1].Loc())
 		}
@@ -79,4 +80,17 @@ func main() {
 	if !found {
 		fmt.Println("  (some reports lost to the radio; a real deployment re-sweeps)")
 	}
+
+	// Cross-check over the air: a network-wide query fans an rrdp out to
+	// every mote and gathers the beacons that are still in place — the
+	// base-station operator's view, no agents involved.
+	matches, err := nw.Remote().Query(agilla.Tmpl(agilla.Str("hkr")))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nremote query <\"hkr\"> confirms beacons on %d motes:", len(matches))
+	for _, m := range matches {
+		fmt.Printf(" %v", m.Node)
+	}
+	fmt.Println()
 }

@@ -1,0 +1,8 @@
+package agilla
+
+import "github.com/agilla-go/agilla/internal/core"
+
+// DeploymentForTest exposes the internal deployment so package tests can
+// reach the radio medium and per-node state without widening the public
+// API.
+func DeploymentForTest(nw *Network) *core.Deployment { return nw.d }

@@ -118,11 +118,11 @@ func (c Config) withDefaults() Config {
 	if c.RemoteTimeout <= 0 {
 		c.RemoteTimeout = DefaultRemoteTimeout
 	}
+	// Negative RemoteRetries means "explicitly none" and is preserved, so
+	// normalization is idempotent (0 is ambiguous: it also means "use the
+	// default"). Consumers clamp negatives at the point of use.
 	if c.RemoteRetries == 0 {
 		c.RemoteRetries = DefaultRemoteRetries
-	}
-	if c.RemoteRetries < 0 {
-		c.RemoteRetries = 0
 	}
 	if c.MigSendOverhead <= 0 {
 		c.MigSendOverhead = DefaultMigSendOverhead

@@ -109,6 +109,7 @@ type Node struct {
 
 	reqSeq  uint16
 	remote  map[uint16]*pendingRemote
+	served  map[servedKey]servedReply // responder-side reply cache
 	led     int16
 	stats   NodeStats
 	trace   *Trace
@@ -136,6 +137,7 @@ func NewNode(s *sim.Sim, medium *radio.Medium, loc topology.Location, nodeIndex 
 		in:        make(map[inKey]*inMigration),
 		done:      make(map[inKey]time.Duration),
 		remote:    make(map[uint16]*pendingRemote),
+		served:    make(map[servedKey]servedReply),
 		trace:     trace,
 	}
 	n.net = network.NewStack(s, medium, loc, cfg.Network)
@@ -323,6 +325,9 @@ func (n *Node) onTupleInserted(t tuplespace.Tuple) {
 		}
 		rec.pending = append(rec.pending, firing{pc: rxn.PC, tuple: t})
 		n.stats.ReactionsFired++
+		if n.trace != nil && n.trace.ReactionFired != nil {
+			n.trace.ReactionFired(n.loc, rxn.AgentID, t)
+		}
 		if rec.state == AgentWaiting || rec.state == AgentBlocked {
 			rec.state = AgentReady
 			n.enqueue(rec)

@@ -23,7 +23,7 @@ var ErrRemoteTimeout = errors.New("core: remote operation timed out")
 // simulation before a reply (or the timeout failure) must have arrived.
 func RemoteOpBudget(c Config) time.Duration {
 	c = c.withDefaults()
-	return c.RemoteTimeout * time.Duration(1+c.RemoteRetries)
+	return c.RemoteTimeout * time.Duration(1+max(0, c.RemoteRetries))
 }
 
 // The remote tuple space operation manager (Figure 4). Unlike migration,
@@ -122,15 +122,69 @@ func (n *Node) onRemoteTimeout(pr *pendingRemote) {
 	n.resumeAgent(pr.rec, 0)
 }
 
+// servedKey identifies one remote request as seen by the responder: the
+// initiator's per-node request sequence number is unique per initiator,
+// so (initiator, reqID) names the operation across retransmissions.
+type servedKey struct {
+	from  topology.Location
+	reqID uint16
+}
+
+// servedReply caches the outcome of a served request so a retransmission
+// can be answered without re-executing the operation.
+type servedReply struct {
+	reply wire.RemoteReply
+	at    time.Duration
+}
+
 // serveRemoteRequest is the responder side: perform the operation on the
 // local tuple space and send the result back (§3.2).
+//
+// Remote requests are retransmitted end to end when the initiator hears
+// no reply — including when the request arrived fine and only the reply
+// was lost. Operations with side effects (rinp removes a tuple, rout
+// inserts one) must therefore execute at most once per request: the last
+// reply is cached per (initiator, reqID) and retransmissions are answered
+// from the cache instead of re-performing the op.
 func (n *Node) serveRemoteRequest(env wire.Envelope) {
 	req, err := wire.DecodeRemoteRequest(env.Body)
 	if err != nil {
 		return
 	}
-	reply := n.performRemote(req)
-	_ = n.net.SendRouted(req.ReplyTo, radio.KindRemoteTSR, reply.Encode())
+	key := servedKey{from: req.ReplyTo, reqID: req.ReqID}
+	sr, dup := n.served[key]
+	if !dup {
+		sr = servedReply{reply: n.performRemote(req)}
+	}
+	// (Re-)stamping on every hit keeps an entry alive for as long as its
+	// initiator is still retransmitting, whatever timers it runs.
+	n.rememberServed(key, sr)
+	_ = n.net.SendRouted(req.ReplyTo, radio.KindRemoteTSR, sr.reply.Encode())
+}
+
+// servedGraceFloor is the minimum idle time before a cached reply may be
+// evicted. The responder cannot know the initiator's retransmission
+// timers, so the floor must generously cover any sane configuration's
+// gap between attempts; entries also refresh on every duplicate hit.
+const servedGraceFloor = 30 * time.Second
+
+// rememberServed caches a reply for duplicate suppression. Entries are
+// garbage collected once no retransmission can plausibly still arrive:
+// past the responder's own full remote-op budget and the generous flat
+// floor, whichever is larger. An initiator's 16-bit reqID could only
+// collide with a cached entry after wrapping within that window — tens of
+// thousands of operations in seconds — which the per-op radio round trip
+// makes unreachable.
+func (n *Node) rememberServed(key servedKey, sr servedReply) {
+	now := n.sim.Now()
+	sr.at = now
+	n.served[key] = sr
+	grace := max(2*RemoteOpBudget(n.cfg), servedGraceFloor)
+	for k, s := range n.served {
+		if now-s.at > grace {
+			delete(n.served, k)
+		}
+	}
 }
 
 func (n *Node) performRemote(req wire.RemoteRequest) wire.RemoteReply {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/agilla-go/agilla/internal/asm"
+	"github.com/agilla-go/agilla/internal/radio"
 	"github.com/agilla-go/agilla/internal/topology"
 	"github.com/agilla-go/agilla/internal/tuplespace"
 	"github.com/agilla-go/agilla/internal/vm"
@@ -305,6 +306,125 @@ func TestBaseStationRemoteOpAPI(t *testing.T) {
 	}
 	if len(got.Tuple.Fields) != 1 || got.Tuple.Fields[0].S != "abc" {
 		t.Errorf("tool rrdp tuple = %v", got.Tuple)
+	}
+}
+
+// dropFirstReply arms the medium to eat the first remote-TS reply frame,
+// forcing the initiator to retransmit the request. It returns a pointer
+// to the drop count.
+func dropFirstReply(d *Deployment) *int {
+	dropped := 0
+	d.Medium.Drop = func(f radio.Frame, _ topology.Location) bool {
+		if f.Kind == radio.KindRemoteTSR && dropped == 0 {
+			dropped++
+			return true
+		}
+		return false
+	}
+	return &dropped
+}
+
+// TestRinpRetransmitNotReExecuted is the responder-side at-most-once
+// contract: when only the reply is lost, the retransmitted rinp must be
+// answered from the reply cache instead of destroying a second tuple.
+func TestRinpRetransmitNotReExecuted(t *testing.T) {
+	d := quietDeployment(t, 2, 1)
+	if err := d.WarmUp(); err != nil {
+		t.Fatal(err)
+	}
+	src := d.Node(topology.Loc(1, 1))
+	dst := d.Node(topology.Loc(2, 1))
+
+	// Two identical tuples: re-executing the rinp would destroy both.
+	for i := 0; i < 2; i++ {
+		if err := dst.Space().Out(tuplespace.T(tuplespace.Int(33))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped := dropFirstReply(d)
+
+	code := asm.MustAssemble(`
+		pusht VALUE
+		pushc 1
+		pushloc 2 1
+		rinp
+		pop      // field count from the returned tuple
+		inc
+		pushc 1
+		out      // <34> locally: the reply eventually got through
+		halt
+	`)
+	if _, err := src.CreateAgent(code); err != nil {
+		t.Fatal(err)
+	}
+	// First attempt + 2 s initiator timeout + retransmission round trip.
+	runFor(t, d, 5*time.Second)
+
+	if *dropped != 1 {
+		t.Fatalf("dropped %d replies, want 1", *dropped)
+	}
+	if !hasMarker(src, 34) {
+		t.Error("retransmitted rinp never resolved on the initiator")
+	}
+	if got := dst.Space().Count(tuplespace.Tmpl(tuplespace.Int(33))); got != 1 {
+		t.Errorf("destination holds %d copies after reply loss, want exactly 1", got)
+	}
+}
+
+// TestRoutRetransmitNotReExecuted covers the insertion side: a
+// retransmitted rout must not insert the tuple twice.
+func TestRoutRetransmitNotReExecuted(t *testing.T) {
+	d := quietDeployment(t, 2, 1)
+	if err := d.WarmUp(); err != nil {
+		t.Fatal(err)
+	}
+	src := d.Node(topology.Loc(1, 1))
+	dst := d.Node(topology.Loc(2, 1))
+	dropped := dropFirstReply(d)
+
+	code := asm.MustAssemble(`
+		pushcl 77
+		pushc 1
+		pushloc 2 1
+		rout
+		halt
+	`)
+	if _, err := src.CreateAgent(code); err != nil {
+		t.Fatal(err)
+	}
+	runFor(t, d, 5*time.Second)
+
+	if *dropped != 1 {
+		t.Fatalf("dropped %d replies, want 1", *dropped)
+	}
+	if got := dst.Space().Count(tuplespace.Tmpl(tuplespace.Int(77))); got != 1 {
+		t.Errorf("destination holds %d copies after reply loss, want exactly 1", got)
+	}
+	if src.Stats().RemoteOK != 1 {
+		t.Errorf("RemoteOK = %d, want 1", src.Stats().RemoteOK)
+	}
+}
+
+// TestServedCacheEvicted checks the reply cache does not grow without
+// bound: entries older than the retransmission window are collected.
+func TestServedCacheEvicted(t *testing.T) {
+	d := quietDeployment(t, 2, 1)
+	if err := d.WarmUp(); err != nil {
+		t.Fatal(err)
+	}
+	dst := d.Node(topology.Loc(2, 1))
+	for i := 0; i < 5; i++ {
+		var got *wire.RemoteReply
+		d.Base.RemoteOp(wire.OpRrdp, topology.Loc(2, 1), tuplespace.Tuple{},
+			tuplespace.Tmpl(tuplespace.Int(1)),
+			func(r wire.RemoteReply, _ error) { got = &r })
+		runFor(t, d, 35*time.Second) // well past the responder's grace
+		if got == nil {
+			t.Fatalf("op %d never resolved", i)
+		}
+	}
+	if n := len(dst.served); n > 1 {
+		t.Errorf("served cache holds %d entries after eviction window, want <= 1", n)
 	}
 }
 

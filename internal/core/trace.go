@@ -30,6 +30,10 @@ type Trace struct {
 	RemoteDone func(node topology.Location, id uint16, kind vm.RemoteKind, dest topology.Location, ok bool, elapsed time.Duration)
 	// TupleOut fires on every successful local tuple insertion.
 	TupleOut func(node topology.Location, t tuplespace.Tuple)
+	// ReactionFired fires when a tuple insertion triggers a registered
+	// reaction, once per (reaction, tuple) firing queued on the owning
+	// agent.
+	ReactionFired func(node topology.Location, id uint16, t tuplespace.Tuple)
 	// InstrExecuted fires after every instruction.
 	InstrExecuted func(node topology.Location, id uint16, op vm.Op)
 }

@@ -69,15 +69,15 @@ func CaseStudyScenario() *agilla.Scenario {
 // records every measurement in the run's metrics. Every phase's wait
 // predicate also polls ctx so an ensemble Ctrl-C interrupts mid-run.
 func playCaseStudy(ctx context.Context, nw *agilla.Network, m *agilla.Metrics) error {
-	d := nw.Deployment()
-	fire := d.Field().(*firesim.Fire)
+	fire := nw.Field().(*firesim.Fire)
+	base := nw.Base().Loc()
 	m.Completed = false
 	cancelled := func() bool { return ctx.Err() != nil }
 
 	// Phase 1: deploy detectors everywhere. The sentinel samples every
 	// 2 s (16 ticks) so the compressed scenario stays short; the paper's
 	// listing uses 10-minute idle sleeps.
-	detector := agents.Spreader(agents.FireSentinelSrc(d.Base.Loc(), 16))
+	detector := agents.Spreader(agents.FireSentinelSrc(base, 16))
 	if _, err := nw.InjectCode(detector, topology.Loc(1, 1)); err != nil {
 		return err
 	}
@@ -97,7 +97,7 @@ func playCaseStudy(ctx context.Context, nw *agilla.Network, m *agilla.Metrics) e
 	}
 
 	// Phase 2: one tracker waits at the base station.
-	if _, err := nw.InjectCode(agents.FireTracker(), d.Base.Loc()); err != nil {
+	if _, err := nw.InjectCode(agents.FireTracker(), base); err != nil {
 		return err
 	}
 	if err := nw.Run(2 * time.Second); err != nil {
@@ -111,8 +111,9 @@ func playCaseStudy(ctx context.Context, nw *agilla.Network, m *agilla.Metrics) e
 
 	// Phase 4: wait for the alert to reach the base.
 	alertTmpl := tuplespace.Tmpl(tuplespace.Str("fir"), tuplespace.TypeV(tuplespace.TypeLocation))
+	baseSpace := nw.Space(base)
 	detected, err := nw.RunUntil(func() bool {
-		return cancelled() || d.Base.Space().Count(alertTmpl) > 0
+		return cancelled() || baseSpace.Count(alertTmpl) > 0
 	}, 5*time.Minute)
 	if err != nil {
 		return err
@@ -128,8 +129,8 @@ func playCaseStudy(ctx context.Context, nw *agilla.Network, m *agilla.Metrics) e
 		if cancelled() {
 			return true
 		}
-		for _, n := range d.Motes() {
-			if n.Loc().GridHops(fireAt) <= 1 && n.Space().Count(trkTmpl) > 0 {
+		for _, loc := range nw.Locations() {
+			if loc.GridHops(fireAt) <= 1 && nw.Space(loc).Count(trkTmpl) > 0 {
 				return true
 			}
 		}
@@ -152,10 +153,10 @@ func playCaseStudy(ctx context.Context, nw *agilla.Network, m *agilla.Metrics) e
 	now := nw.Now()
 	trackers := 0
 	trackerAt := make(map[topology.Location]bool)
-	for _, n := range d.Motes() {
-		if n.Space().Count(trkTmpl) > 0 {
+	for _, loc := range nw.Locations() {
+		if nw.Space(loc).Count(trkTmpl) > 0 {
 			trackers++
-			trackerAt[n.Loc()] = true
+			trackerAt[loc] = true
 		}
 	}
 	bounds := firesim.GridBounds(caseStudySize, caseStudySize)
@@ -213,8 +214,8 @@ func CaseStudy(cfg Config) (*CaseStudyResult, error) {
 // detector marks each visited mote).
 func countDetectors(nw *agilla.Network) int {
 	n := 0
-	for _, node := range nw.Deployment().Motes() {
-		if node.Space().Count(tuplespace.Tmpl(tuplespace.Str("vst"))) > 0 {
+	for _, loc := range nw.Locations() {
+		if nw.Space(loc).Count(tuplespace.Tmpl(tuplespace.Str("vst"))) > 0 {
 			n++
 		}
 	}

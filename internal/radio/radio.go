@@ -155,6 +155,12 @@ type Medium struct {
 	// the experiment harness to measure delivery without instrumenting
 	// the middleware.
 	Trace func(f Frame, to topology.Location, delivered bool)
+
+	// Drop, when non-nil, is consulted before the probabilistic loss
+	// model; returning true drops the frame on that link. Tests use it to
+	// inject targeted, deterministic loss (e.g. "eat the first remote
+	// reply") that the Gilbert–Elliott chain cannot express.
+	Drop func(f Frame, to topology.Location) bool
 }
 
 // NewMedium creates a medium over the given topology.
@@ -241,6 +247,13 @@ func (m *Medium) Send(f Frame) {
 }
 
 func (m *Medium) deliver(f Frame, to topology.Location, node Receiver) {
+	if m.Drop != nil && m.Drop(f, to) {
+		if m.Trace != nil {
+			m.Trace(f, to, false)
+		}
+		m.stats.Dropped++
+		return
+	}
 	lost := m.sampleLoss(link{from: f.Src, to: to})
 	if m.Trace != nil {
 		m.Trace(f, to, !lost)

@@ -24,8 +24,16 @@ type Space struct {
 	count int
 
 	// onInsert observers (the tuple space manager wires the reaction
-	// registry and blocked-agent wakeups here).
-	onInsert []func(Tuple)
+	// registry and blocked-agent wakeups here; host-side watches come
+	// and go), keyed by registration id so they can be removed.
+	onInsert []insertObserver
+	obsSeq   int
+}
+
+// insertObserver is one registered insert hook.
+type insertObserver struct {
+	id int
+	fn func(Tuple)
 }
 
 // NewSpace creates a space with the given arena budget; budget <= 0 uses
@@ -37,8 +45,24 @@ func NewSpace(budget int) *Space {
 	return &Space{arena: make([]byte, 0, budget)}
 }
 
-// OnInsert registers an observer called after each successful Out.
-func (s *Space) OnInsert(fn func(Tuple)) { s.onInsert = append(s.onInsert, fn) }
+// OnInsert registers an observer called after each successful Out, in
+// registration order. The returned func unregisters it; long-lived
+// spaces with transient observers (host-side watches) must call it to
+// keep insertions from paying for dead observers. Unregistering from
+// within an observer is not supported.
+func (s *Space) OnInsert(fn func(Tuple)) (remove func()) {
+	s.obsSeq++
+	id := s.obsSeq
+	s.onInsert = append(s.onInsert, insertObserver{id: id, fn: fn})
+	return func() {
+		for i, o := range s.onInsert {
+			if o.id == id {
+				s.onInsert = append(s.onInsert[:i], s.onInsert[i+1:]...)
+				return
+			}
+		}
+	}
+}
 
 // UsedBytes returns the number of arena bytes holding live tuples.
 func (s *Space) UsedBytes() int { return s.used }
@@ -63,8 +87,8 @@ func (s *Space) Out(t Tuple) error {
 	s.arena = t.Marshal(s.arena)
 	s.used += sz
 	s.count++
-	for _, fn := range s.onInsert {
-		fn(t)
+	for _, o := range s.onInsert {
+		o.fn(t)
 	}
 	return nil
 }

@@ -242,6 +242,24 @@ func TestOnInsertObserver(t *testing.T) {
 	}
 }
 
+func TestOnInsertObserverRemoval(t *testing.T) {
+	s := NewSpace(0)
+	var first, second int
+	removeFirst := s.OnInsert(func(Tuple) { first++ })
+	s.OnInsert(func(Tuple) { second++ })
+	if err := s.Out(fireTuple()); err != nil {
+		t.Fatal(err)
+	}
+	removeFirst()
+	removeFirst() // removing twice is a harmless no-op
+	if err := s.Out(fireTuple()); err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 || second != 2 {
+		t.Fatalf("first=%d second=%d, want 1 and 2 (removed observer must not fire)", first, second)
+	}
+}
+
 // Property: a random interleaving of Out/Inp never corrupts the arena —
 // every remaining tuple decodes, byte accounting is exact, and matching
 // still works.

@@ -106,7 +106,7 @@ type Options struct {
 	Field Field
 	// NodeConfig overrides per-mote middleware budgets and protocol
 	// timers; nil selects the paper's defaults.
-	NodeConfig *core.Config
+	NodeConfig *NodeConfig
 }
 
 // NewNetwork builds a grid deployment per the options. New code should

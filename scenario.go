@@ -155,6 +155,9 @@ func (s *Scenario) run(ctx context.Context, seed int64) (*Metrics, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
+	// End any event/watch subscriptions a Play/Until/Collect hook made, so
+	// sweeping thousands of seeds does not accumulate pump goroutines.
+	defer nw.Close()
 	if !s.SkipWarmup {
 		if err := nw.WarmUp(); err != nil {
 			return nil, fmt.Errorf("scenario %q: warm-up: %w", s.Name, err)
@@ -221,13 +224,13 @@ func (s *Scenario) run(ctx context.Context, seed int64) (*Metrics, error) {
 		}
 	}
 
-	stats := nw.Deployment().TotalStats()
-	med := nw.Deployment().Medium.Stats()
+	stats := nw.d.TotalStats()
+	med := nw.d.Medium.Stats()
 	m.Elapsed = nw.Now()
 	// Count agent lifetimes from the tracker, not NodeStats.AgentsHosted:
 	// the latter counts per-node admissions, so every relay hop of a
 	// multi-hop migration would inflate it.
-	m.AgentsSpawned = len(nw.Deployment().AgentRecords())
+	m.AgentsSpawned = len(nw.d.AgentRecords())
 	m.AgentsHalted = int(stats.AgentsHalted)
 	m.AgentsDied = int(stats.AgentsDied)
 	m.Hops = int(stats.MigrationsOK)
