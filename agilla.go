@@ -15,8 +15,9 @@
 // discovery, greedy geographic routing) is reproduced faithfully at
 // laptop scale.
 //
-// Quick start — build a deployment with functional options, inject an
-// agent, and watch it through its handle:
+// Quick start — build a deployment with functional options, author an
+// agent with the typed program builder, launch it, and watch it through
+// its handle:
 //
 //	nw, err := agilla.New(
 //		agilla.WithTopology(agilla.Ring(12)),
@@ -24,14 +25,19 @@
 //	)
 //	if err != nil { ... }
 //	if err := nw.WarmUp(); err != nil { ... }
-//	ag, err := nw.Inject(`
-//		pushc 7
-//		putled
-//		halt
-//	`, nw.Locations()[5])
+//	p, err := program.New("blink").PushC(7).Putled().Halt().Build()
+//	if err != nil { ... }
+//	ag, err := nw.Launch(p, nw.Locations()[5])
 //	if err != nil { ... }
 //	done, _ := ag.WaitDone(30 * time.Second)
 //	fmt.Println(done, ag.Hops(), ag.Location())
+//
+// Agents are authored through the program package — a fluent typed
+// builder with combinators, an assembler for the paper's textual
+// dialect (program.Parse), raw bytecode adoption (program.FromBytes),
+// and the paper's canned agents (program.Library). All three forms are
+// statically verified and converge on one *Program value accepted by
+// Network.Launch.
 //
 // Topologies other than the paper's 5×5 grid — Line, Ring, RandomDisk,
 // and Custom coordinate sets — run the identical middleware over
@@ -55,6 +61,7 @@
 package agilla
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -64,6 +71,7 @@ import (
 	"github.com/agilla-go/agilla/internal/sensor"
 	"github.com/agilla-go/agilla/internal/topology"
 	"github.com/agilla-go/agilla/internal/tuplespace"
+	"github.com/agilla-go/agilla/program"
 )
 
 // Location is a node address: Agilla addresses nodes by physical location
@@ -131,6 +139,18 @@ type NodeConfig = core.Config
 // its retransmission budget without a reply reaching the initiator.
 var ErrRemoteTimeout = core.ErrRemoteTimeout
 
+// ErrNoSuchNode reports an operation addressed to a location where the
+// deployment has no node. Launch, Inject, Space.Out, and RemoteClient
+// operations wrap it; test with errors.Is.
+var ErrNoSuchNode = errors.New("agilla: no such node")
+
+// Program is a verified agent program — the one currency accepted by
+// Launch, whichever way it was authored. Build one with the program
+// package: program.New() for the typed builder, program.Parse for
+// assembly source, program.FromBytes for raw bytecode, or
+// program.Library for the paper's canned agents.
+type Program = program.Program
+
 // Re-exported tuple field constructors.
 var (
 	// Int constructs an integer field.
@@ -162,9 +182,14 @@ func NewFire(spreadEvery time.Duration, w, h int) *Fire {
 
 // Assemble compiles Agilla assembly (the dialect of Figures 2, 8, and 13)
 // to agent bytecode.
+//
+// Deprecated: use program.Parse, which returns a *Program that Launch
+// accepts directly and exposes the verifier's report.
 func Assemble(src string) ([]byte, error) { return asm.Assemble(src) }
 
 // MustAssemble is Assemble, panicking on error; for hard-coded programs.
+//
+// Deprecated: use program.MustParse.
 func MustAssemble(src string) []byte { return asm.MustAssemble(src) }
 
 // Disassemble renders agent bytecode as assembly text.
@@ -221,26 +246,53 @@ func (nw *Network) RunUntil(pred func() bool, limit time.Duration) (bool, error)
 	return nw.d.Sim.RunUntil(pred, nw.d.Sim.Now()+limit)
 }
 
-// Inject assembles src and injects the agent from the base station to
-// dest, returning a handle that tracks the agent across the network.
-func (nw *Network) Inject(src string, dest Location) (*Agent, error) {
-	code, err := asm.Assemble(src)
-	if err != nil {
-		return nil, err
+// Launch injects a verified Program from the base station toward dest,
+// returning a handle that tracks the agent across the network. This is
+// the one entry point for all three authoring forms:
+//
+//	p := program.New("ping").MoveTo(dest).Halt().MustBuild()
+//	ag, err := nw.Launch(p, dest)
+//
+// Launching at a location with no node fails with ErrNoSuchNode.
+func (nw *Network) Launch(p *Program, dest Location) (*Agent, error) {
+	if p == nil {
+		return nil, fmt.Errorf("agilla: Launch needs a program")
 	}
-	return nw.InjectCode(code, dest)
-}
-
-// InjectCode injects pre-assembled bytecode from the base station to dest.
-func (nw *Network) InjectCode(code []byte, dest Location) (*Agent, error) {
 	if nw.d.Node(dest) == nil {
-		return nil, fmt.Errorf("agilla: no node at %v", dest)
+		return nil, fmt.Errorf("%w at %v", ErrNoSuchNode, dest)
 	}
-	id, err := nw.d.Base.InjectAgent(code, dest)
+	id, err := nw.d.Base.InjectAgent(p.Bytes(), dest)
 	if err != nil {
 		return nil, err
 	}
 	return &Agent{nw: nw, id: id}, nil
+}
+
+// Inject assembles src and injects the agent from the base station to
+// dest.
+//
+// Deprecated: use program.Parse + Launch, which separates authoring
+// errors from deployment errors and reuses the parsed program across
+// injections.
+func (nw *Network) Inject(src string, dest Location) (*Agent, error) {
+	p, err := program.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return nw.Launch(p, dest)
+}
+
+// InjectCode injects pre-assembled bytecode from the base station to
+// dest.
+//
+// Deprecated: use program.FromBytes + Launch. Unlike this shim, the
+// program package verifies the bytecode before it ships.
+func (nw *Network) InjectCode(code []byte, dest Location) (*Agent, error) {
+	p, err := program.FromBytes(code)
+	if err != nil {
+		return nil, err
+	}
+	return nw.Launch(p, dest)
 }
 
 // Node returns the mote at loc, or nil. The base station is at (0,0).

@@ -8,11 +8,16 @@
 //	agilla -inject prog.agilla -at 3,3 -run 30s
 //	agilla -topo ring -nodes 12 -watch            # prints the mote list for -at
 //	agilla -topo disk -nodes 20 -side 8 -range 2.5 -seed 3
-//	agilla -disasm prog.agilla
+//	agilla asm prog.agilla -o prog.bin            # assemble + verify
+//	agilla asm prog.agilla                        # ... and print the report
+//	agilla disasm prog.bin                        # bytecode (or source) -> listing
 //
 // The program file uses the assembly dialect of the paper's Figures 2, 8,
-// and 13; see internal/asm. After the run the tool dumps every node's
-// tuple space and agent census.
+// and 13; see the program package. The asm subcommand runs the static
+// verifier and reports size, instruction count, and worst-case stack
+// depth; disasm accepts either raw bytecode or source text. After a
+// simulation run the tool dumps every node's tuple space and agent
+// census.
 package main
 
 import (
@@ -22,51 +27,134 @@ import (
 	"strconv"
 	"strings"
 	"time"
+	"unicode/utf8"
 
 	"github.com/agilla-go/agilla"
+	"github.com/agilla-go/agilla/program"
 )
 
 func main() {
-	if err := run(); err != nil {
+	args := os.Args[1:]
+	var err error
+	switch {
+	case len(args) > 0 && args[0] == "asm":
+		err = runAsm(args[1:])
+	case len(args) > 0 && args[0] == "disasm":
+		err = runDisasm(args[1:])
+	default:
+		err = run(args)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "agilla: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// runAsm assembles and verifies a source file, printing the verifier's
+// report; with -o it also writes the bytecode.
+func runAsm(args []string) error {
+	fs := flag.NewFlagSet("agilla asm", flag.ExitOnError)
+	out := fs.String("o", "", "write the assembled bytecode to this file")
+	quiet := fs.Bool("q", false, "suppress the disassembly listing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: agilla asm [-o out.bin] prog.agilla")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	p, err := program.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d bytes, %d instructions, worst-case stack depth %d/16\n",
+		fs.Arg(0), p.Len(), p.Instructions(), p.MaxStackDepth())
+	if *out != "" {
+		if err := os.WriteFile(*out, p.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	} else if !*quiet {
+		fmt.Print(p.Disassemble())
+	}
+	return nil
+}
+
+// runDisasm prints the listing for a program file holding either raw
+// bytecode (e.g. from `agilla asm -o`) or assembly source.
+func runDisasm(args []string) error {
+	fs := flag.NewFlagSet("agilla disasm", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: agilla disasm prog.bin|prog.agilla")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	code := data
+	if looksLikeSource(data) {
+		p, err := program.Parse(string(data))
+		if err != nil {
+			return err
+		}
+		code = p.Bytes()
+	}
+	// Decode-only on purpose: a disassembler must print anything that
+	// decodes, including bytecode the static verifier would refuse to
+	// launch (captured mid-experiment, older toolchains, death tests).
+	text, err := program.Disassemble(code)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d bytes\n%s", len(code), text)
+	return nil
+}
+
+// looksLikeSource distinguishes assembly text from raw bytecode: source
+// is valid UTF-8 with no control bytes besides whitespace, while any
+// real program's bytecode starts with an opcode that is one.
+func looksLikeSource(data []byte) bool {
+	if !utf8.Valid(data) {
+		return false
+	}
+	for _, b := range data {
+		if b < 0x20 && b != '\n' && b != '\r' && b != '\t' {
+			return false
+		}
+	}
+	return true
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("agilla", flag.ExitOnError)
 	var (
-		inject = flag.String("inject", "", "agent program file to inject")
-		at     = flag.String("at", "1,1", "destination node, e.g. 3,3")
-		topo   = flag.String("topo", "grid", "topology: grid, line, ring, disk")
-		width  = flag.Int("width", 5, "grid width")
-		height = flag.Int("height", 5, "grid height")
-		nodes  = flag.Int("nodes", 12, "node count for line/ring/disk topologies")
-		side   = flag.Int("side", 8, "region side for the disk topology")
-		rng    = flag.Float64("range", 2.5, "radio range for the disk topology")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		runFor = flag.Duration("run", 30*time.Second, "virtual time to run after injecting")
-		lossy  = flag.Bool("lossy", true, "use the calibrated lossy radio")
-		disasm = flag.String("disasm", "", "disassemble a program file and exit")
-		watch  = flag.Bool("watch", false, "print middleware events as they happen")
-		fireAt = flag.String("fire", "", "ignite a fire at this node, e.g. 4,4")
+		inject = fs.String("inject", "", "agent program file to inject")
+		at     = fs.String("at", "1,1", "destination node, e.g. 3,3")
+		topo   = fs.String("topo", "grid", "topology: grid, line, ring, disk")
+		width  = fs.Int("width", 5, "grid width")
+		height = fs.Int("height", 5, "grid height")
+		nodes  = fs.Int("nodes", 12, "node count for line/ring/disk topologies")
+		side   = fs.Int("side", 8, "region side for the disk topology")
+		rng    = fs.Float64("range", 2.5, "radio range for the disk topology")
+		seed   = fs.Int64("seed", 1, "simulation seed")
+		runFor = fs.Duration("run", 30*time.Second, "virtual time to run after injecting")
+		lossy  = fs.Bool("lossy", true, "use the calibrated lossy radio")
+		disasm = fs.String("disasm", "", "deprecated: use the disasm subcommand")
+		watch  = fs.Bool("watch", false, "print middleware events as they happen")
+		fireAt = fs.String("fire", "", "ignite a fire at this node, e.g. 4,4")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *disasm != "" {
-		src, err := os.ReadFile(*disasm)
-		if err != nil {
-			return err
-		}
-		code, err := agilla.Assemble(string(src))
-		if err != nil {
-			return err
-		}
-		text, err := agilla.Disassemble(code)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%d bytes\n%s", len(code), text)
-		return nil
+		return runDisasm([]string{*disasm})
 	}
 
 	var top agilla.Topology
@@ -131,15 +219,20 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		p, err := program.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		p = p.WithName(*inject)
 		dest, err := parseLoc(*at)
 		if err != nil {
 			return fmt.Errorf("-at: %w", err)
 		}
-		ag, err := nw.Inject(string(src), dest)
+		ag, err := nw.Launch(p, dest)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("injected agent %d toward %v\n", ag.ID(), dest)
+		fmt.Printf("injected agent %d (%v) toward %v\n", ag.ID(), p, dest)
 		defer func() { fmt.Printf("final agent state: %v\n", ag) }()
 	}
 

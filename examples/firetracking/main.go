@@ -14,6 +14,7 @@ import (
 
 	"github.com/agilla-go/agilla"
 	"github.com/agilla-go/agilla/internal/agents"
+	"github.com/agilla-go/agilla/program"
 )
 
 const width, height = 5, 5
@@ -35,8 +36,11 @@ func main() {
 	// is injected at the gateway; it weak-clones itself to every mote
 	// (Figure 13's sensing loop, sampling every 2s here instead of the
 	// paper's 10 minutes so the demo stays short).
-	detector := agents.Spreader(agents.FireSentinelSrc(agilla.Loc(0, 0), 16))
-	if _, err := nw.InjectCode(detector, agilla.Loc(1, 1)); err != nil {
+	detector, err := program.Parse(agents.SpreaderSrc(agents.FireSentinelSrc(agilla.Loc(0, 0), 16)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := nw.Launch(detector.WithName("spreading-sentinel"), agilla.Loc(1, 1)); err != nil {
 		log.Fatal(err)
 	}
 	covered := func() int {
@@ -54,8 +58,12 @@ func main() {
 	fmt.Printf("detectors deployed on %d/25 motes\n", covered())
 
 	// Phase 2 — a FIRETRACKER waits at the base station for the alert
-	// (the Figure 2 prologue: regrxn on <"fir", location>, then wait).
-	if _, err := nw.InjectCode(agents.FireTracker(), agilla.Loc(0, 0)); err != nil {
+	// (the Figure 2 prologue: React on <"fir", location>, then wait).
+	// The tracker ships straight from the program library, where it is
+	// built with the typed builder and golden-tested byte-identical to
+	// the paper's listing.
+	tracker, _ := program.Get("fire-tracker")
+	if _, err := nw.Launch(tracker.Program, agilla.Loc(0, 0)); err != nil {
 		log.Fatal(err)
 	}
 	if err := nw.Run(2 * time.Second); err != nil {

@@ -1,5 +1,6 @@
-// Quickstart: bring up the paper's 5×5 testbed, inject one agent from the
-// base station, and read the tuple it leaves behind.
+// Quickstart: bring up the paper's 5×5 testbed, author one agent with
+// the typed program builder, launch it from the base station, and read
+// the tuple it leaves behind.
 //
 //	go run ./examples/quickstart
 package main
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"github.com/agilla-go/agilla"
+	"github.com/agilla-go/agilla/program"
 )
 
 func main() {
@@ -25,22 +27,30 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The network is deployed with no application installed. Inject a
-	// greeter agent at mote (3,3): it lights the LEDs, drops a tuple
-	// <"hi", (3,3)> into the local tuple space, and dies.
-	ag, err := nw.Inject(`
-		pushc 7
-		putled        // all three LEDs on
-		pushn hi      // push the string "hi"
-		loc           // push this node's location
-		pushc 2       // field count: the tuple has two fields
-		out           // insert <"hi", (3,3)> into the local tuple space
-		halt          // the agent dies; Agilla reclaims its resources
-	`, agilla.Loc(3, 3))
+	// The network is deployed with no application installed. Author a
+	// greeter agent with the typed builder: it lights the LEDs, drops a
+	// tuple <"hi", (3,3)> into the local tuple space, and dies. Build
+	// runs the static verifier — label resolution, jump bounds, and a
+	// worst-case stack analysis — so a program that launches is one the
+	// VM can run. (The same agent in assembly ships as
+	// program.Get("blink"); program.Parse accepts the textual dialect.)
+	greeter, err := program.New("greeter").
+		PushC(7).Putled(). // all three LEDs on
+		PushN("hi").       // push the string "hi"
+		Loc().             // push this node's location
+		PushC(2).Out().    // two fields: insert <"hi", (3,3)> locally
+		Halt().            // the agent dies; Agilla reclaims its resources
+		Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("injected agent %d; migrating (0,0) -> (3,3)...\n", ag.ID())
+
+	// Launch injects the program from the base station toward (3,3).
+	ag, err := nw.Launch(greeter, agilla.Loc(3, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("launched %v as agent %d; migrating (0,0) -> (3,3)...\n", greeter, ag.ID())
 
 	// Injection is a real multi-hop migration over the lossy radio; the
 	// handle observes the agent completing without hand-rolled polling.

@@ -12,28 +12,38 @@ import (
 	"github.com/agilla-go/agilla/internal/topology"
 )
 
-// SmoveRoundTrip is Figure 8's smove agent generalized to any target: it
-// strong-moves to the target and back to home, then halts.
-func SmoveRoundTrip(target, home topology.Location) []byte {
-	return asm.MustAssemble(fmt.Sprintf(`
+// SmoveRoundTripSrc is Figure 8's smove agent generalized to any target:
+// it strong-moves to the target and back to home, then halts.
+func SmoveRoundTripSrc(target, home topology.Location) string {
+	return fmt.Sprintf(`
 		pushloc %d %d
 		smove       // strong move to the target mote
 		pushloc %d %d
 		smove       // strong move back home
 		halt
-	`, target.X, target.Y, home.X, home.Y))
+	`, target.X, target.Y, home.X, home.Y)
 }
 
-// Rout is Figure 8's rout agent: place the tuple <1> in the target node's
-// tuple space, then halt.
-func Rout(target topology.Location) []byte {
-	return asm.MustAssemble(fmt.Sprintf(`
+// SmoveRoundTrip assembles SmoveRoundTripSrc.
+func SmoveRoundTrip(target, home topology.Location) []byte {
+	return asm.MustAssemble(SmoveRoundTripSrc(target, home))
+}
+
+// RoutSrc is Figure 8's rout agent: place the tuple <1> in the target
+// node's tuple space, then halt.
+func RoutSrc(target topology.Location) string {
+	return fmt.Sprintf(`
 		pushc 1
 		pushc 1     // tuple <value:1> on stack
 		pushloc %d %d
 		rout        // do rout on the target mote
 		halt
-	`, target.X, target.Y))
+	`, target.X, target.Y)
+}
+
+// Rout assembles RoutSrc.
+func Rout(target topology.Location) []byte {
+	return asm.MustAssemble(RoutSrc(target))
 }
 
 // OneHopOp builds a one-instruction remote/migration exerciser for the
@@ -200,9 +210,10 @@ func FireSentinelSrc(notify topology.Location, sleepTicks int) string {
 	`, sleepTicks, notify.X, notify.Y, sleepTicks*4)
 }
 
-// Blink is the quickstart agent: flash the LEDs and leave a greeting tuple.
-func Blink() []byte {
-	return asm.MustAssemble(`
+// BlinkSrc is the quickstart agent: flash the LEDs and leave a greeting
+// tuple.
+func BlinkSrc() string {
+	return `
 		pushc 7
 		putled         // all LEDs on
 		pushn hi
@@ -210,8 +221,11 @@ func Blink() []byte {
 		pushc 2
 		out            // <"hi", location>
 		halt
-	`)
+	`
 }
+
+// Blink assembles BlinkSrc.
+func Blink() []byte { return asm.MustAssemble(BlinkSrc()) }
 
 // SpreaderSrc clones the calling agent's payload across the network: a
 // wclone-based flood used to deploy detectors everywhere. At each node it

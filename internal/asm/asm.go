@@ -18,6 +18,13 @@
 // integers, labels (resolved to code addresses), or the built-in symbols
 // for sensor and field types (TEMPERATURE, PHOTO, SOUND, SMOKE, VALUE,
 // STRING, LOCATION, TYPE, READING, AGENTID, ANY).
+//
+// Every assembled program is additionally checked by the shared static
+// verifier (internal/vm.Verify): jump targets must land on instruction
+// boundaries, heap indices must be in range, and the worst-case stack
+// analysis must not prove a guaranteed underflow or overflow. Verifier
+// findings are reported with the source line of the offending
+// instruction and wrap ErrVerify.
 package asm
 
 import (
@@ -30,8 +37,13 @@ import (
 	"github.com/agilla-go/agilla/internal/vm"
 )
 
-// ErrSyntax is wrapped by all assembly errors.
+// ErrSyntax is wrapped by all assembly parse errors. Every wrap carries
+// the source line number and the offending token.
 var ErrSyntax = errors.New("asm: syntax error")
+
+// ErrVerify is wrapped by static-verification failures of otherwise
+// well-formed source (bad jump targets, guaranteed stack underflow, ...).
+var ErrVerify = errors.New("asm: program verification failed")
 
 // Builtin symbol values usable as immediate operands.
 var builtins = map[string]int16{
@@ -60,23 +72,31 @@ var pushtSpecial = map[string]int16{
 }
 
 type stmt struct {
-	line     int
-	op       vm.Op
-	info     vm.Info
-	args     []string
-	addr     int
-	labelRef string // for rjump/rjumpc targets awaiting resolution
+	line int
+	op   vm.Op
+	info vm.Info
+	args []string
+	addr int
 }
 
-// Assemble compiles source text to bytecode.
+// Assemble compiles source text to bytecode and statically verifies the
+// result. Parse errors wrap ErrSyntax, verification findings wrap
+// ErrVerify; both carry the source line.
 func Assemble(src string) ([]byte, error) {
+	code, _, err := AssembleReport(src)
+	return code, err
+}
+
+// AssembleReport is Assemble returning the static verifier's report
+// alongside the bytecode, so callers (package program) need not verify
+// a second time.
+func AssembleReport(src string) ([]byte, vm.VerifyReport, error) {
 	lines := strings.Split(src, "\n")
 	labels := make(map[string]int)
 	consts := make(map[string]int16)
 	var stmts []stmt
 	addr := 0
 
-	var pendingLabels []string
 	for ln, raw := range lines {
 		line := raw
 		if i := strings.Index(line, "//"); i >= 0 {
@@ -92,14 +112,19 @@ func Assemble(src string) ([]byte, error) {
 		// .const NAME VALUE directive.
 		if fields[0] == ".const" {
 			if len(fields) != 3 {
-				return nil, fmt.Errorf("line %d: %w: .const NAME VALUE", ln+1, ErrSyntax)
+				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: %q: want .const NAME VALUE", ln+1, ErrSyntax, strings.Join(fields, " "))
 			}
 			v, err := parseInt(fields[2], -32768, 32767)
 			if err != nil {
-				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w (.const %s)", ln+1, err, fields[1])
 			}
 			consts[fields[1]] = int16(v)
 			continue
+		}
+		// A leading address marker ("12:") from disassembler output is
+		// ignored, so disassemblies reassemble verbatim.
+		if isAddrMarker(fields[0]) {
+			fields = fields[1:]
 		}
 		// Leading labels: tokens that are not mnemonics.
 		for len(fields) > 0 {
@@ -111,10 +136,9 @@ func Assemble(src string) ([]byte, error) {
 				break
 			}
 			if _, dup := labels[name]; dup {
-				return nil, fmt.Errorf("line %d: %w: duplicate label %q", ln+1, ErrSyntax, name)
+				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: duplicate label %q", ln+1, ErrSyntax, name)
 			}
 			labels[name] = addr
-			pendingLabels = append(pendingLabels, name)
 			fields = fields[1:]
 		}
 		if len(fields) == 0 {
@@ -122,21 +146,15 @@ func Assemble(src string) ([]byte, error) {
 		}
 		op, ok := vm.ByName(strings.ToLower(fields[0]))
 		if !ok {
-			return nil, fmt.Errorf("line %d: %w: unknown instruction %q", ln+1, ErrSyntax, fields[0])
+			return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: unknown instruction %q", ln+1, ErrSyntax, fields[0])
 		}
 		info, _ := vm.Lookup(op)
 		st := stmt{line: ln + 1, op: op, info: info, args: fields[1:], addr: addr}
 		stmts = append(stmts, st)
 		addr += 1 + info.Operands
-		pendingLabels = nil
-	}
-	if len(pendingLabels) > 0 {
-		// Trailing labels point just past the end; allow them (useful as
-		// an end marker) — they already recorded addr.
-		_ = pendingLabels
-	}
-	if addr > 65535 {
-		return nil, fmt.Errorf("%w: program too large (%d bytes)", ErrSyntax, addr)
+		if addr > 65535 {
+			return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: %q pushes the program past 65535 bytes", st.line, ErrSyntax, fields[0])
+		}
 	}
 
 	resolve := func(tok string, st stmt) (int16, error) {
@@ -159,34 +177,48 @@ func Assemble(src string) ([]byte, error) {
 	code := make([]byte, 0, addr)
 	for _, st := range stmts {
 		if err := checkArity(st); err != nil {
-			return nil, err
+			return nil, vm.VerifyReport{}, err
 		}
 		code = append(code, byte(st.op))
-		switch st.op {
-		case vm.OpPushc:
+		// Operand encoding is driven by the ISA metadata's operand kind;
+		// only pushc and pusht need instruction-specific handling (the
+		// sensor-name convenience mappings).
+		switch st.info.Kind {
+		case vm.OperandNone:
+			// no operand bytes
+
+		case vm.OperandU8: // pushc
 			v, err := resolve(st.args[0], st)
 			if err != nil {
-				return nil, err
+				return nil, vm.VerifyReport{}, err
 			}
 			if v < 0 || v > 255 {
-				return nil, fmt.Errorf("line %d: %w: pushc operand %d out of [0,255]; use pushcl", st.line, ErrSyntax, v)
+				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: %s operand %q = %d out of [0,255]; use pushcl", st.line, ErrSyntax, st.info.Name, st.args[0], v)
 			}
 			code = append(code, byte(v))
-		case vm.OpPushcl:
+
+		case vm.OperandS16: // pushcl
 			v, err := resolve(st.args[0], st)
 			if err != nil {
-				return nil, err
+				return nil, vm.VerifyReport{}, err
 			}
 			code = append(code, byte(uint16(v)>>8), byte(uint16(v)))
-		case vm.OpPushn:
+
+		case vm.OperandName3: // pushn
 			name := strings.Trim(st.args[0], `"`)
 			if len(name) == 0 || len(name) > tuplespace.MaxStringLen {
-				return nil, fmt.Errorf("line %d: %w: pushn name must be 1-%d chars", st.line, ErrSyntax, tuplespace.MaxStringLen)
+				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: pushn name %q must be 1-%d chars", st.line, ErrSyntax, st.args[0], tuplespace.MaxStringLen)
+			}
+			for i := 0; i < len(name); i++ {
+				if !vm.ValidNameByte(name[i]) {
+					return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: pushn name %q: %q is not a printable name character", st.line, ErrSyntax, name, name[i])
+				}
 			}
 			var buf [3]byte
 			copy(buf[:], name)
 			code = append(code, buf[:]...)
-		case vm.OpPusht:
+
+		case vm.OperandType: // pusht
 			tok := st.args[0]
 			var v int16
 			if sv, ok := pushtSpecial[tok]; ok {
@@ -195,75 +227,100 @@ func Assemble(src string) ([]byte, error) {
 				var err error
 				v, err = resolve(tok, st)
 				if err != nil {
-					return nil, err
+					return nil, vm.VerifyReport{}, err
 				}
 			}
 			if v < 0 || v > 255 {
-				return nil, fmt.Errorf("line %d: %w: pusht code %d out of range", st.line, ErrSyntax, v)
+				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: pusht code %q = %d out of [0,255]", st.line, ErrSyntax, tok, v)
 			}
 			code = append(code, byte(v))
-		case vm.OpPushrt:
+
+		case vm.OperandSensor: // pushrt
 			v, err := resolve(st.args[0], st)
 			if err != nil {
-				return nil, err
+				return nil, vm.VerifyReport{}, err
 			}
 			if v < 0 || v > 255 {
-				return nil, fmt.Errorf("line %d: %w: pushrt sensor %d out of range", st.line, ErrSyntax, v)
+				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: pushrt sensor %q = %d out of [0,255]", st.line, ErrSyntax, st.args[0], v)
 			}
 			code = append(code, byte(v))
-		case vm.OpPushloc:
+
+		case vm.OperandLoc: // pushloc
 			x, err := resolve(st.args[0], st)
 			if err != nil {
-				return nil, err
+				return nil, vm.VerifyReport{}, err
 			}
 			y, err := resolve(st.args[1], st)
 			if err != nil {
-				return nil, err
+				return nil, vm.VerifyReport{}, err
 			}
 			if x < -128 || x > 127 || y < -128 || y > 127 {
-				return nil, fmt.Errorf("line %d: %w: pushloc coordinates out of [-128,127]", st.line, ErrSyntax)
+				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: pushloc coordinates %q %q out of [-128,127]", st.line, ErrSyntax, st.args[0], st.args[1])
 			}
 			code = append(code, byte(int8(x)), byte(int8(y)))
-		case vm.OpRjump, vm.OpRjumpc:
+
+		case vm.OperandRel: // rjump, rjumpc
 			var off int
 			if target, ok := labels[st.args[0]]; ok {
 				off = target - st.addr
 			} else {
 				v, err := parseInt(st.args[0], -128, 127)
 				if err != nil {
-					return nil, fmt.Errorf("line %d: %w: unknown jump target %q", st.line, ErrSyntax, st.args[0])
+					return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: unknown jump target %q", st.line, ErrSyntax, st.args[0])
 				}
 				off = v
 			}
 			if off < -128 || off > 127 {
-				return nil, fmt.Errorf("line %d: %w: jump to %q spans %d bytes (max ±128); use pushcl+jumps", st.line, ErrSyntax, st.args[0], off)
+				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: jump to %q spans %d bytes (max ±128); use pushcl+jumps", st.line, ErrSyntax, st.args[0], off)
 			}
 			code = append(code, byte(int8(off)))
-		case vm.OpGetvar, vm.OpSetvar:
+
+		case vm.OperandHeap: // getvar, setvar
 			v, err := resolve(st.args[0], st)
 			if err != nil {
-				return nil, err
+				return nil, vm.VerifyReport{}, err
 			}
 			if v < 0 || int(v) >= vm.HeapSlots {
-				return nil, fmt.Errorf("line %d: %w: heap address %d out of [0,%d)", st.line, ErrSyntax, v, vm.HeapSlots)
+				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: heap address %q = %d out of [0,%d)", st.line, ErrSyntax, st.args[0], v, vm.HeapSlots)
 			}
 			code = append(code, byte(v))
+
 		default:
-			if st.info.Operands != 0 {
-				return nil, fmt.Errorf("line %d: %w: internal: unhandled operands for %s", st.line, ErrSyntax, st.info.Name)
-			}
+			return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: internal: unhandled operand kind for %s", st.line, ErrSyntax, st.info.Name)
 		}
 	}
-	return code, nil
+
+	// Static verification with findings mapped back to source lines.
+	rep, err := vm.Verify(code)
+	if err != nil {
+		errs := make([]error, 0, len(rep.Errors))
+		for _, ve := range rep.Errors {
+			errs = append(errs, fmt.Errorf("line %d: %w: %s", lineOf(stmts, ve.PC), ErrVerify, ve.Msg))
+		}
+		return nil, vm.VerifyReport{}, errors.Join(errs...)
+	}
+	return code, rep, nil
+}
+
+// lineOf maps a byte address to the source line of the instruction
+// holding it.
+func lineOf(stmts []stmt, pc int) int {
+	line := 0
+	for _, st := range stmts {
+		if st.addr > pc {
+			break
+		}
+		line = st.line
+	}
+	return line
 }
 
 func checkArity(st stmt) error {
-	want := 0
-	switch st.op {
-	case vm.OpPushc, vm.OpPushcl, vm.OpPushn, vm.OpPusht, vm.OpPushrt,
-		vm.OpRjump, vm.OpRjumpc, vm.OpGetvar, vm.OpSetvar:
-		want = 1
-	case vm.OpPushloc:
+	want := 1
+	switch st.info.Kind {
+	case vm.OperandNone:
+		want = 0
+	case vm.OperandLoc:
 		want = 2
 	}
 	if len(st.args) != want {
@@ -278,7 +335,7 @@ func parseInt(s string, lo, hi int) (int, error) {
 		return 0, fmt.Errorf("%w: %q is not an integer", ErrSyntax, s)
 	}
 	if v < lo || v > hi {
-		return 0, fmt.Errorf("%w: %d out of [%d,%d]", ErrSyntax, v, lo, hi)
+		return 0, fmt.Errorf("%w: %q = %d out of [%d,%d]", ErrSyntax, s, v, lo, hi)
 	}
 	return v, nil
 }
@@ -304,6 +361,20 @@ func isLabel(s string) bool {
 	return true
 }
 
+// isAddrMarker reports whether tok is a disassembler address prefix like
+// "12:".
+func isAddrMarker(tok string) bool {
+	if len(tok) < 2 || tok[len(tok)-1] != ':' {
+		return false
+	}
+	for _, r := range tok[:len(tok)-1] {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
 // MustAssemble assembles src and panics on error. For tests and the
 // built-in example agents only.
 func MustAssemble(src string) []byte {
@@ -315,7 +386,8 @@ func MustAssemble(src string) []byte {
 }
 
 // Disassemble renders bytecode as assembly text, one instruction per
-// line, with byte addresses.
+// line, with byte addresses. The output reassembles to the identical
+// bytecode (address markers are ignored by Assemble).
 func Disassemble(code []byte) (string, error) {
 	var sb strings.Builder
 	pc := 0
@@ -328,20 +400,18 @@ func Disassemble(code []byte) (string, error) {
 		info, _ := vm.Lookup(op)
 		fmt.Fprintf(&sb, "%4d: %s", pc, info.Name)
 		operands := code[pc+1 : pc+n]
-		switch op {
-		case vm.OpPushc, vm.OpPusht, vm.OpPushrt:
+		switch info.Kind {
+		case vm.OperandU8, vm.OperandType, vm.OperandSensor, vm.OperandHeap:
 			fmt.Fprintf(&sb, " %d", operands[0])
-		case vm.OpPushcl:
+		case vm.OperandS16:
 			fmt.Fprintf(&sb, " %d", int16(uint16(operands[0])<<8|uint16(operands[1])))
-		case vm.OpPushn:
+		case vm.OperandName3:
 			name := strings.TrimRight(string(operands), "\x00")
 			fmt.Fprintf(&sb, " %s", name)
-		case vm.OpPushloc:
+		case vm.OperandLoc:
 			fmt.Fprintf(&sb, " %d %d", int8(operands[0]), int8(operands[1]))
-		case vm.OpRjump, vm.OpRjumpc:
+		case vm.OperandRel:
 			fmt.Fprintf(&sb, " %d", int8(operands[0]))
-		case vm.OpGetvar, vm.OpSetvar:
-			fmt.Fprintf(&sb, " %d", operands[0])
 		}
 		sb.WriteByte('\n')
 		pc += n
@@ -350,7 +420,7 @@ func Disassemble(code []byte) (string, error) {
 }
 
 // Validate walks the bytecode verifying every instruction decodes; it
-// returns the instruction count.
+// returns the instruction count. For full static checks use vm.Verify.
 func Validate(code []byte) (int, error) {
 	pc, n := 0, 0
 	for pc < len(code) {

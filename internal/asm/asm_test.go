@@ -1,6 +1,7 @@
 package asm
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -299,5 +300,155 @@ func TestSemicolonComments(t *testing.T) {
 	}
 	if len(code) != 3 {
 		t.Errorf("code length = %d, want 3", len(code))
+	}
+}
+
+// TestFullISARoundTrip disassembles and reassembles a minimal verified
+// program for every opcode in the ISA table (Figure 7), asserting the
+// round trip is byte-identical — including the disassembler's address
+// markers, which the assembler must ignore.
+func TestFullISARoundTrip(t *testing.T) {
+	operandText := func(info vm.Info) string {
+		switch info.Kind {
+		case vm.OperandU8:
+			return " 200"
+		case vm.OperandS16:
+			return " -300"
+		case vm.OperandName3:
+			return " abc"
+		case vm.OperandType:
+			return " 4"
+		case vm.OperandSensor:
+			return " 2"
+		case vm.OperandLoc:
+			return " 3 -2"
+		case vm.OperandRel:
+			return " 2" // forward to the trailing halt
+		case vm.OperandHeap:
+			return " 11"
+		default:
+			return ""
+		}
+	}
+	for _, op := range vm.Ops() {
+		info, _ := vm.Lookup(op)
+		t.Run(info.Name, func(t *testing.T) {
+			// Feed the instruction's minimum pops with pushc 0 (a zero
+			// field count satisfies the variable-arity tuple ops), then
+			// the instruction, then a halt.
+			var sb strings.Builder
+			for i := 0; i < info.StackInMin(); i++ {
+				sb.WriteString("pushc 0\n")
+			}
+			sb.WriteString(info.Name + operandText(info) + "\n")
+			sb.WriteString("halt\n")
+
+			code, err := Assemble(sb.String())
+			if err != nil {
+				t.Fatalf("assemble %q: %v", sb.String(), err)
+			}
+			text, err := Disassemble(code)
+			if err != nil {
+				t.Fatalf("disassemble: %v", err)
+			}
+			if !strings.Contains(text, info.Name) {
+				t.Fatalf("disassembly missing %q:\n%s", info.Name, text)
+			}
+			code2, err := Assemble(text)
+			if err != nil {
+				t.Fatalf("reassemble %q: %v", text, err)
+			}
+			if string(code) != string(code2) {
+				t.Errorf("round trip differs:\n%v\n%v\nvia\n%s", code, code2, text)
+			}
+		})
+	}
+}
+
+// TestErrorsCarryLineAndToken asserts the satellite requirement: every
+// ErrSyntax wrap names the source line and the offending token.
+func TestErrorsCarryLineAndToken(t *testing.T) {
+	tests := []struct {
+		name  string
+		src   string
+		frags []string
+	}{
+		{"unknown op", "halt\nfrobnicate", []string{"line 2", `"frobnicate"`}},
+		{"bad operand count", "halt\n\npushc", []string{"line 3", "pushc takes 1 operand"}},
+		{"pushc range", "pushc 300\nhalt", []string{"line 1", `"300"`, "use pushcl"}},
+		{"unresolvable", "pushcl NOSUCH\npop\nhalt", []string{"line 1", `"NOSUCH"`}},
+		{"duplicate label", "A pushc 1\nA pop\nhalt", []string{"line 2", `"A"`}},
+		{"pushn too long", "halt\npushn wxyz", []string{"line 2", `"wxyz"`}},
+		{"pushn bad char", "pushn a/b\npop\nhalt", []string{"line 1", `"a/b"`, "name character"}},
+		{"pushloc range", "pushloc 200 1\nsmove\nhalt", []string{"line 1", `"200"`}},
+		{"heap range", "pushc 1\nsetvar 12\nhalt", []string{"line 2", `"12"`, "out of [0,12)"}},
+		{"bad const value", ".const X Y\nhalt", []string{"line 1", `"Y"`}},
+		{"bad const usage", ".const X\nhalt", []string{"line 1", ".const NAME VALUE"}},
+		{"unknown jump target", "rjump 9999\nhalt", []string{"line 1", `"9999"`}},
+		{"pushrt range", "pushrt 300\npop\nhalt", []string{"line 1", `"300"`}},
+		{"pusht range", "pusht 300\npop\nhalt", []string{"line 1", `"300"`}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Assemble(tt.src)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !errors.Is(err, ErrSyntax) {
+				t.Errorf("error does not wrap ErrSyntax: %v", err)
+			}
+			for _, frag := range tt.frags {
+				if !strings.Contains(err.Error(), frag) {
+					t.Errorf("error %q does not mention %q", err, frag)
+				}
+			}
+		})
+	}
+}
+
+// TestVerifierErrorsCarryLine asserts assembler-surfaced verifier
+// findings are positioned at the offending source line.
+func TestVerifierErrorsCarryLine(t *testing.T) {
+	tests := []struct {
+		name  string
+		src   string
+		frags []string
+	}{
+		{"stack underflow", "pushc 1\npop\npop\nhalt", []string{"line 3", "underflow"}},
+		{"run off end", "pushc 1\npop", []string{"line 2", "off the end"}},
+		{"jump into operand", "pushc 1\npop\nrjump -2\nhalt", []string{"line 3", "inside an instruction"}},
+		{"bad reaction entry", "pusht VALUE\npushc 1\npushcl 99\nregrxn\nhalt", []string{"line 3", "reaction entry"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Assemble(tt.src)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !errors.Is(err, ErrVerify) {
+				t.Errorf("error does not wrap ErrVerify: %v", err)
+			}
+			for _, frag := range tt.frags {
+				if !strings.Contains(err.Error(), frag) {
+					t.Errorf("error %q does not mention %q", err, frag)
+				}
+			}
+		})
+	}
+}
+
+// TestAddressMarkersIgnored: the assembler must skip the "NN:" prefixes
+// that Disassemble emits.
+func TestAddressMarkersIgnored(t *testing.T) {
+	a, err := Assemble("pushc 5\npop\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Assemble("   0: pushc 5\n   2: pop\n   3: halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("%v != %v", a, b)
 	}
 }

@@ -78,8 +78,10 @@ func TestAgentErrorReclaims(t *testing.T) {
 	d.Trace.AgentDied = func(_ topology.Location, id uint16, err error) {
 		diedID, diedErr = id, err
 	}
-	// pop on an empty stack is a fatal agent error.
-	id, err := n.CreateAgent(asm.MustAssemble("pop\nhalt"))
+	// pop on an empty stack is a fatal agent error. The assembler's
+	// static verifier rejects this program, so build the bytes by hand —
+	// the engine must still reclaim an agent that dies at runtime.
+	id, err := n.CreateAgent([]byte{byte(vm.OpPop), byte(vm.OpHalt)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,12 +272,13 @@ func TestInstructionMemoryLimitRejectsBigAgent(t *testing.T) {
 	d := quietDeployment(t, 1, 1)
 	n := d.Node(topology.Loc(1, 1))
 
-	// 441 bytes of code exceeds the 20-block budget.
+	// 442 bytes of code exceeds the 20-block budget.
 	var sb strings.Builder
 	for i := 0; i < 147; i++ {
 		sb.WriteString("pushc 1\npop\n") // 3 bytes per pair
 	}
-	big := asm.MustAssemble(sb.String()) // 441 bytes
+	sb.WriteString("halt\n")
+	big := asm.MustAssemble(sb.String()) // 442 bytes
 	if len(big) <= 440 {
 		t.Fatalf("test program only %d bytes", len(big))
 	}

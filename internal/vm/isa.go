@@ -102,11 +102,71 @@ const (
 	OpDeregrxn Op = 0x3f
 )
 
-// Info describes one instruction's static properties.
+// OperandKind classifies an instruction's immediate operand bytes. It
+// drives encoding (internal/asm, the program builder), decoding
+// (Disassemble), and the static verifier, so all of them agree on one
+// table.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	// OperandNone: no immediate operand.
+	OperandNone OperandKind = iota
+	// OperandU8: one unsigned immediate byte (pushc).
+	OperandU8
+	// OperandS16: a two-byte big-endian signed immediate (pushcl). Also
+	// how absolute code addresses reach the stack for regrxn and jumps.
+	OperandS16
+	// OperandName3: a three-byte zero-padded string name (pushn).
+	OperandName3
+	// OperandType: one tuple type-code byte (pusht).
+	OperandType
+	// OperandSensor: one sensor-type byte (pushrt).
+	OperandSensor
+	// OperandLoc: two signed coordinate bytes (pushloc).
+	OperandLoc
+	// OperandRel: one signed byte, a jump offset relative to the
+	// instruction's own address (rjump, rjumpc).
+	OperandRel
+	// OperandHeap: one heap slot index byte (getvar, setvar).
+	OperandHeap
+)
+
+// Bytes returns the number of operand bytes the kind occupies.
+func (k OperandKind) Bytes() int {
+	switch k {
+	case OperandNone:
+		return 0
+	case OperandS16, OperandLoc:
+		return 2
+	case OperandName3:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// Info describes one instruction's static properties: its mnemonic, the
+// kind (and hence size) of its immediate operand, its fixed stack arity,
+// and its modelled cost. This is the ISA metadata table behind the
+// assembler, the disassembler, the program builder, and Verify.
 type Info struct {
 	Name string
-	// Operands is the number of operand bytes following the opcode.
+	// Kind classifies the immediate operand bytes.
+	Kind OperandKind
+	// Operands is the number of operand bytes following the opcode
+	// (always Kind.Bytes(); kept as a field for convenience).
 	Operands int
+
+	// In and Out are the fixed number of stack slots the instruction
+	// pops and pushes. Variable-length tuple traffic is flagged
+	// separately: VarIn means the instruction additionally pops a field
+	// count plus that many fields (out, inp, rout, regrxn, ...); VarOut
+	// means it may push a matched tuple's fields plus their count (inp,
+	// rdp, in, rd, and the remote reads on reply delivery).
+	In, Out       int
+	VarIn, VarOut bool
+
 	// Cost is the modelled local execution latency on the 8 MHz mote.
 	// Values are calibrated to Figure 12: ≈75 µs for plain pushes and
 	// register queries, ≈150 µs for instructions with extra memory
@@ -115,68 +175,104 @@ type Info struct {
 	Cost time.Duration
 }
 
+// StackInMin returns the fewest stack slots the instruction pops on any
+// execution (a VarIn instruction pops at least the field count).
+func (i Info) StackInMin() int {
+	if i.VarIn {
+		return i.In + 1
+	}
+	return i.In
+}
+
+// StackInMax returns the most stack slots the instruction can pop.
+func (i Info) StackInMax() int {
+	if i.VarIn {
+		return i.In + 1 + StackDepth
+	}
+	return i.In
+}
+
+// StackOutMin returns the fewest stack slots the instruction pushes (a
+// VarOut instruction pushes nothing on a miss).
+func (i Info) StackOutMin() int { return i.Out }
+
+// StackOutMax returns the most stack slots the instruction can push.
+func (i Info) StackOutMax() int {
+	if i.VarOut {
+		return i.Out + StackDepth
+	}
+	return i.Out
+}
+
 const us = time.Microsecond
 
 var infoTable = map[Op]Info{
-	OpHalt:   {"halt", 0, 60 * us},
-	OpLoc:    {"loc", 0, 74 * us},
-	OpAid:    {"aid", 0, 72 * us},
-	OpRand:   {"rand", 0, 112 * us},
-	OpDup:    {"dup", 0, 70 * us},
-	OpPop:    {"pop", 0, 66 * us},
-	OpSwap:   {"swap", 0, 72 * us},
-	OpAdd:    {"add", 0, 78 * us},
-	OpSub:    {"sub", 0, 78 * us},
-	OpAnd:    {"and", 0, 75 * us},
-	OpOr:     {"or", 0, 75 * us},
-	OpWait:   {"wait", 0, 80 * us},
-	OpNot:    {"not", 0, 73 * us},
-	OpSleep:  {"sleep", 0, 90 * us},
-	OpPutled: {"putled", 0, 85 * us},
-	OpSense:  {"sense", 0, 232 * us},
-	OpCeq:    {"ceq", 0, 82 * us},
-	OpCneq:   {"cneq", 0, 82 * us},
-	OpClt:    {"clt", 0, 82 * us},
-	OpCgt:    {"cgt", 0, 82 * us},
-	OpJumps:  {"jumps", 0, 86 * us},
-	OpRjump:  {"rjump", 1, 84 * us},
-	OpRjumpc: {"rjumpc", 1, 85 * us},
-	OpGetvar: {"getvar", 1, 96 * us},
-	OpSetvar: {"setvar", 1, 98 * us},
-	OpInc:    {"inc", 0, 70 * us},
+	OpHalt:   {Name: "halt", Cost: 60 * us},
+	OpLoc:    {Name: "loc", Out: 1, Cost: 74 * us},
+	OpAid:    {Name: "aid", Out: 1, Cost: 72 * us},
+	OpRand:   {Name: "rand", Out: 1, Cost: 112 * us},
+	OpDup:    {Name: "dup", In: 1, Out: 2, Cost: 70 * us},
+	OpPop:    {Name: "pop", In: 1, Cost: 66 * us},
+	OpSwap:   {Name: "swap", In: 2, Out: 2, Cost: 72 * us},
+	OpAdd:    {Name: "add", In: 2, Out: 1, Cost: 78 * us},
+	OpSub:    {Name: "sub", In: 2, Out: 1, Cost: 78 * us},
+	OpAnd:    {Name: "and", In: 2, Out: 1, Cost: 75 * us},
+	OpOr:     {Name: "or", In: 2, Out: 1, Cost: 75 * us},
+	OpWait:   {Name: "wait", Cost: 80 * us},
+	OpNot:    {Name: "not", In: 1, Out: 1, Cost: 73 * us},
+	OpSleep:  {Name: "sleep", In: 1, Cost: 90 * us},
+	OpPutled: {Name: "putled", In: 1, Cost: 85 * us},
+	OpSense:  {Name: "sense", In: 1, Out: 1, Cost: 232 * us},
+	OpCeq:    {Name: "ceq", In: 2, Cost: 82 * us},
+	OpCneq:   {Name: "cneq", In: 2, Cost: 82 * us},
+	OpClt:    {Name: "clt", In: 2, Cost: 82 * us},
+	OpCgt:    {Name: "cgt", In: 2, Cost: 82 * us},
+	OpJumps:  {Name: "jumps", In: 1, Cost: 86 * us},
+	OpRjump:  {Name: "rjump", Kind: OperandRel, Cost: 84 * us},
+	OpRjumpc: {Name: "rjumpc", Kind: OperandRel, Cost: 85 * us},
+	OpGetvar: {Name: "getvar", Kind: OperandHeap, Out: 1, Cost: 96 * us},
+	OpSetvar: {Name: "setvar", Kind: OperandHeap, In: 1, Cost: 98 * us},
+	OpInc:    {Name: "inc", In: 1, Out: 1, Cost: 70 * us},
 
-	OpSmove:  {"smove", 0, 210 * us},
-	OpWmove:  {"wmove", 0, 205 * us},
-	OpSclone: {"sclone", 0, 212 * us},
-	OpWclone: {"wclone", 0, 206 * us},
+	OpSmove:  {Name: "smove", In: 1, Cost: 210 * us},
+	OpWmove:  {Name: "wmove", In: 1, Cost: 205 * us},
+	OpSclone: {Name: "sclone", In: 1, Cost: 212 * us},
+	OpWclone: {Name: "wclone", In: 1, Cost: 206 * us},
 
-	OpGetnbr:  {"getnbr", 0, 155 * us},
-	OpNumnbrs: {"numnbrs", 0, 78 * us},
-	OpRandnbr: {"randnbr", 0, 148 * us},
+	OpGetnbr:  {Name: "getnbr", In: 1, Out: 1, Cost: 155 * us},
+	OpNumnbrs: {Name: "numnbrs", Out: 1, Cost: 78 * us},
+	OpRandnbr: {Name: "randnbr", Out: 1, Cost: 148 * us},
 
-	OpEq:  {"eq", 0, 81 * us},
-	OpNeq: {"neq", 0, 81 * us},
-	OpLt:  {"lt", 0, 81 * us},
-	OpGt:  {"gt", 0, 81 * us},
+	OpEq:  {Name: "eq", In: 2, Out: 1, Cost: 81 * us},
+	OpNeq: {Name: "neq", In: 2, Out: 1, Cost: 81 * us},
+	OpLt:  {Name: "lt", In: 2, Out: 1, Cost: 81 * us},
+	OpGt:  {Name: "gt", In: 2, Out: 1, Cost: 81 * us},
 
-	OpPushc:   {"pushc", 1, 76 * us},
-	OpPushcl:  {"pushcl", 2, 141 * us},
-	OpPushn:   {"pushn", 3, 152 * us},
-	OpPusht:   {"pusht", 1, 136 * us},
-	OpPushrt:  {"pushrt", 1, 132 * us},
-	OpPushloc: {"pushloc", 2, 158 * us},
+	OpPushc:   {Name: "pushc", Kind: OperandU8, Out: 1, Cost: 76 * us},
+	OpPushcl:  {Name: "pushcl", Kind: OperandS16, Out: 1, Cost: 141 * us},
+	OpPushn:   {Name: "pushn", Kind: OperandName3, Out: 1, Cost: 152 * us},
+	OpPusht:   {Name: "pusht", Kind: OperandType, Out: 1, Cost: 136 * us},
+	OpPushrt:  {Name: "pushrt", Kind: OperandSensor, Out: 1, Cost: 132 * us},
+	OpPushloc: {Name: "pushloc", Kind: OperandLoc, Out: 1, Cost: 158 * us},
 
-	OpTcount:   {"tcount", 0, 312 * us},
-	OpOut:      {"out", 0, 286 * us},
-	OpInp:      {"inp", 0, 271 * us},
-	OpRdp:      {"rdp", 0, 263 * us},
-	OpIn:       {"in", 0, 301 * us},
-	OpRd:       {"rd", 0, 291 * us},
-	OpRout:     {"rout", 0, 250 * us},
-	OpRinp:     {"rinp", 0, 252 * us},
-	OpRrdp:     {"rrdp", 0, 251 * us},
-	OpRegrxn:   {"regrxn", 0, 181 * us},
-	OpDeregrxn: {"deregrxn", 0, 173 * us},
+	OpTcount:   {Name: "tcount", VarIn: true, Out: 1, Cost: 312 * us},
+	OpOut:      {Name: "out", VarIn: true, Cost: 286 * us},
+	OpInp:      {Name: "inp", VarIn: true, VarOut: true, Cost: 271 * us},
+	OpRdp:      {Name: "rdp", VarIn: true, VarOut: true, Cost: 263 * us},
+	OpIn:       {Name: "in", VarIn: true, VarOut: true, Cost: 301 * us},
+	OpRd:       {Name: "rd", VarIn: true, VarOut: true, Cost: 291 * us},
+	OpRout:     {Name: "rout", In: 1, VarIn: true, Cost: 250 * us},
+	OpRinp:     {Name: "rinp", In: 1, VarIn: true, VarOut: true, Cost: 252 * us},
+	OpRrdp:     {Name: "rrdp", In: 1, VarIn: true, VarOut: true, Cost: 251 * us},
+	OpRegrxn:   {Name: "regrxn", In: 1, VarIn: true, Cost: 181 * us},
+	OpDeregrxn: {Name: "deregrxn", VarIn: true, Cost: 173 * us},
+}
+
+func init() {
+	for op, info := range infoTable {
+		info.Operands = info.Kind.Bytes()
+		infoTable[op] = info
+	}
 }
 
 var nameToOp = func() map[string]Op {

@@ -1,0 +1,319 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Static program verification, shared by every authoring surface: the
+// assembler (internal/asm), the typed builder (package program), and raw
+// bytecode loading (program.FromBytes). It is driven entirely by the ISA
+// metadata table in isa.go.
+//
+// Verify performs four classes of checks:
+//
+//  1. Decode: every byte decodes as a known instruction with its full
+//     operand bytes present.
+//  2. Operand ranges: heap indices within [0, HeapSlots); relative jump
+//     targets inside the code and on an instruction boundary; statically
+//     visible absolute addresses (a pushc/pushcl immediately feeding
+//     jumps or regrxn) likewise.
+//  3. Control flow: execution cannot run off the end of the code.
+//  4. Worst-case stack analysis: an interval [lo, hi] of possible stack
+//     depths is propagated over the control-flow graph to a fixpoint.
+//     An instruction whose minimum pops exceed the maximum possible
+//     depth is a guaranteed underflow; a push that exceeds StackDepth on
+//     every path is a guaranteed overflow. Both are errors. Depth that
+//     merely may exceed the limit (data-dependent tuple traffic) is
+//     reported via MayOverflow, not an error — the paper's own agents
+//     rely on data-dependent stack effects.
+//
+// The analysis is deliberately tolerant of Agilla's dynamic features:
+// wait suspends until a reaction fires, so code after wait is reachable
+// only through a registered reaction entry point (detected from the
+// pushcl-feeds-regrxn idiom) and such entries start with an unknown
+// stack; a jumps whose target is not statically visible makes every
+// instruction conservatively reachable.
+
+// VerifyError is one verification finding, positioned by program
+// counter. Callers that know source positions (the assembler, the
+// builder) wrap it with line or label information.
+type VerifyError struct {
+	// PC is the byte address of the offending instruction.
+	PC int
+	// Op is the instruction at PC (0 i.e. halt when decoding failed
+	// before an opcode was established).
+	Op Op
+	// Msg describes the defect.
+	Msg string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("pc=%d (%s): %s", e.PC, e.Op, e.Msg)
+}
+
+// VerifyReport is the result of verifying one program.
+type VerifyReport struct {
+	// Instructions is the number of instructions decoded.
+	Instructions int
+	// MaxStackDepth is the worst-case operand stack depth the analysis
+	// can bound, capped at StackDepth.
+	MaxStackDepth int
+	// MayOverflow reports that some path may exceed StackDepth
+	// depending on runtime data (not an error; the agent would die at
+	// runtime with ErrStackOverflow).
+	MayOverflow bool
+	// DynamicJumps reports that the program contains a jumps whose
+	// target is not statically visible, which forces the stack analysis
+	// to treat every instruction as reachable with any depth.
+	DynamicJumps bool
+	// ReactionEntries lists code addresses registered as reaction entry
+	// points via the pushcl-feeds-regrxn idiom.
+	ReactionEntries []int
+	// Errors holds every finding. The error returned by Verify joins
+	// them; keeping the slice lets callers re-position each finding.
+	Errors []*VerifyError
+}
+
+// ValidNameByte reports whether b may appear in a pushn name: printable
+// ASCII excluding whitespace, quotes, and the assembler's comment
+// characters (';', '/'), so every verified name survives a disassemble →
+// reassemble round trip unchanged.
+func ValidNameByte(b byte) bool {
+	return b > 0x20 && b < 0x7f && b != '"' && b != ';' && b != '/'
+}
+
+type vinstr struct {
+	pc   int
+	op   Op
+	info Info
+	args []byte
+	next int // pc of the following instruction
+}
+
+// Verify statically checks a program and reports its worst-case resource
+// use. The returned error is nil iff the program passed; otherwise it
+// joins one error per finding (each a *VerifyError carrying the PC).
+func Verify(code []byte) (VerifyReport, error) {
+	var rep VerifyReport
+	fail := func(pc int, op Op, format string, args ...any) {
+		rep.Errors = append(rep.Errors, &VerifyError{PC: pc, Op: op, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	if len(code) == 0 {
+		fail(0, OpHalt, "empty program")
+		return rep, rep.err()
+	}
+
+	// Pass 1: decode. A decode failure poisons everything after it, so
+	// stop at the first one.
+	var ins []vinstr
+	index := make(map[int]int) // pc -> index in ins
+	for pc := 0; pc < len(code); {
+		op := Op(code[pc])
+		info, ok := infoTable[op]
+		if !ok {
+			fail(pc, op, "unknown opcode 0x%02x", byte(op))
+			return rep, rep.err()
+		}
+		if pc+1+info.Operands > len(code) {
+			fail(pc, op, "truncated operands: %s needs %d byte(s), %d left", info.Name, info.Operands, len(code)-pc-1)
+			return rep, rep.err()
+		}
+		index[pc] = len(ins)
+		ins = append(ins, vinstr{pc: pc, op: op, info: info, args: code[pc+1 : pc+1+info.Operands], next: pc + 1 + info.Operands})
+		pc += 1 + info.Operands
+	}
+	rep.Instructions = len(ins)
+
+	// Pass 2: operand ranges and statically visible addresses.
+	boundary := func(pc int) bool { _, ok := index[pc]; return ok }
+	jumpTargets := make(map[int]int) // ins index -> static jumps target pc
+	for i, in := range ins {
+		switch in.info.Kind {
+		case OperandHeap:
+			if int(in.args[0]) >= HeapSlots {
+				fail(in.pc, in.op, "heap index %d out of [0,%d)", in.args[0], HeapSlots)
+			}
+		case OperandName3:
+			// Names must be non-empty, zero-padded, and use only
+			// characters every authoring surface round-trips (so a
+			// disassembly always reassembles to identical bytes).
+			n := 3
+			for n > 0 && in.args[n-1] == 0 {
+				n--
+			}
+			if n == 0 {
+				fail(in.pc, in.op, "empty name")
+			}
+			for j := 0; j < n; j++ {
+				if b := in.args[j]; !ValidNameByte(b) {
+					fail(in.pc, in.op, "name byte %d (0x%02x) is not a valid name character", j, b)
+					break
+				}
+			}
+		case OperandRel:
+			target := in.pc + int(int8(in.args[0]))
+			if target < 0 || target >= len(code) {
+				fail(in.pc, in.op, "jump target %d outside code (%d bytes)", target, len(code))
+			} else if !boundary(target) {
+				fail(in.pc, in.op, "jump target %d is inside an instruction", target)
+			}
+		}
+		// The pushc/pushcl-feeds-consumer idiom makes some absolute code
+		// addresses statically visible; check them too.
+		if i+1 < len(ins) && (in.op == OpPushc || in.op == OpPushcl) {
+			var v int
+			if in.op == OpPushc {
+				v = int(in.args[0])
+			} else {
+				v = int(int16(uint16(in.args[0])<<8 | uint16(in.args[1])))
+			}
+			switch ins[i+1].op {
+			case OpRegrxn:
+				if v < 0 || v >= len(code) || !boundary(v) {
+					fail(in.pc, in.op, "reaction entry %d is not an instruction address", v)
+				} else {
+					rep.ReactionEntries = append(rep.ReactionEntries, v)
+				}
+			case OpJumps:
+				if v < 0 || v >= len(code) || !boundary(v) {
+					fail(in.pc, in.op, "jumps target %d is not an instruction address", v)
+				} else {
+					jumpTargets[i+1] = v
+				}
+			}
+		}
+	}
+
+	// Pass 3 + 4: control flow and stack-depth intervals, propagated to
+	// a fixpoint. Terminators (halt; wait, whose continuation is a
+	// reaction entry; an unfollowed jumps) have no fallthrough.
+	type interval struct {
+		lo, hi int
+		seen   bool
+	}
+	depth := make([]interval, len(ins))
+	var work []int
+	enter := func(idx, lo, hi int) {
+		d := &depth[idx]
+		if !d.seen {
+			*d = interval{lo: lo, hi: hi, seen: true}
+			work = append(work, idx)
+			return
+		}
+		widened := false
+		if lo < d.lo {
+			d.lo, widened = lo, true
+		}
+		if hi > d.hi {
+			d.hi, widened = hi, true
+		}
+		if widened {
+			work = append(work, idx)
+		}
+	}
+
+	enter(0, 0, 0)
+	for _, pc := range rep.ReactionEntries {
+		// A firing pushes the interrupted PC, the matched tuple's
+		// fields, and their count on top of whatever the agent had.
+		enter(index[pc], 0, StackDepth)
+	}
+	for i, in := range ins {
+		if in.op == OpJumps {
+			if _, ok := jumpTargets[i]; !ok {
+				// Dynamic jump: every instruction is conservatively
+				// reachable with any stack.
+				rep.DynamicJumps = true
+			}
+		}
+	}
+	if rep.DynamicJumps {
+		for i := range ins {
+			enter(i, 0, StackDepth)
+		}
+	}
+
+	flagged := make(map[int]bool) // ins index -> already reported
+	for len(work) > 0 {
+		idx := work[len(work)-1]
+		work = work[:len(work)-1]
+		in, d := ins[idx], depth[idx]
+
+		popMin, popMax := in.info.StackInMin(), in.info.StackInMax()
+		pushMin, pushMax := in.info.StackOutMin(), in.info.StackOutMax()
+
+		if d.hi < popMin {
+			if !flagged[idx] {
+				flagged[idx] = true
+				fail(in.pc, in.op, "stack underflow: %s pops at least %d value(s) but at most %d can be on the stack here", in.info.Name, popMin, d.hi)
+			}
+			continue // the agent dies here on every path
+		}
+		lo := d.lo - popMax
+		if lo < 0 {
+			lo = 0
+		}
+		lo += pushMin
+		if lo > StackDepth {
+			if !flagged[idx] {
+				flagged[idx] = true
+				fail(in.pc, in.op, "stack overflow: %s leaves at least %d values on a %d-slot stack", in.info.Name, lo, StackDepth)
+			}
+			continue
+		}
+		hi := d.hi - popMin + pushMax
+		if hi > StackDepth {
+			rep.MayOverflow = true
+			hi = StackDepth
+		}
+		if hi > rep.MaxStackDepth {
+			rep.MaxStackDepth = hi
+		}
+
+		// Successors.
+		switch in.op {
+		case OpHalt, OpWait:
+			continue
+		case OpRjump:
+			target := in.pc + int(int8(in.args[0]))
+			if ti, ok := index[target]; ok {
+				enter(ti, lo, hi)
+			}
+			continue
+		case OpRjumpc:
+			target := in.pc + int(int8(in.args[0]))
+			if ti, ok := index[target]; ok {
+				enter(ti, lo, hi)
+			}
+		case OpJumps:
+			if target, ok := jumpTargets[idx]; ok {
+				enter(index[target], lo, hi)
+			}
+			continue
+		}
+		ni, ok := index[in.next]
+		if !ok {
+			if !flagged[idx] {
+				flagged[idx] = true
+				fail(in.pc, in.op, "execution runs off the end of the code after %s; add a halt or jump", in.info.Name)
+			}
+			continue
+		}
+		enter(ni, lo, hi)
+	}
+
+	return rep, rep.err()
+}
+
+func (r *VerifyReport) err() error {
+	if len(r.Errors) == 0 {
+		return nil
+	}
+	errs := make([]error, len(r.Errors))
+	for i, e := range r.Errors {
+		errs[i] = e
+	}
+	return errors.Join(errs...)
+}

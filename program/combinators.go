@@ -1,0 +1,95 @@
+package program
+
+// High-level combinators. Each expands to the same label-and-jump
+// patterns the paper's listings use (Figures 2 and 13, and the
+// FIRETRACKER body), so combinator-built programs look exactly like
+// hand-written ones at the bytecode level. Generated labels start with
+// '$' and cannot collide with user labels (Label rejects nothing, but
+// the '$' namespace is reserved by convention).
+
+// If runs then when the condition register is set and falls through
+// otherwise:
+//
+//	rjumpc $then; rjump $end; $then: <then>; $end:
+//
+// Set the condition first with a comparison (Ceq/Clt/...), a probe
+// (Rdp/Inp/Out), Getnbr, Sense, or a migration.
+func (b *Builder) If(then func(*Builder)) *Builder {
+	lThen, lEnd := b.autoLabel("then"), b.autoLabel("end")
+	b.JumpC(lThen).Jump(lEnd).Label(lThen)
+	then(b)
+	return b.Label(lEnd)
+}
+
+// IfElse runs then when the condition register is set and els otherwise:
+//
+//	rjumpc $then; <els>; rjump $end; $then: <then>; $end:
+//
+// The else branch falls through first, matching the paper's idiom
+// (FIRETRACKER's rjumpc TPOP over the presence-marking block).
+func (b *Builder) IfElse(then, els func(*Builder)) *Builder {
+	lThen, lEnd := b.autoLabel("then"), b.autoLabel("end")
+	b.JumpC(lThen)
+	els(b)
+	b.Jump(lEnd).Label(lThen)
+	then(b)
+	return b.Label(lEnd)
+}
+
+// Loop repeats body forever:
+//
+//	$loop: <body>; rjump $loop
+//
+// Break out with an explicit Jump/JumpC to a label outside, or end an
+// iteration with Halt or a weak migration.
+func (b *Builder) Loop(body func(*Builder)) *Builder {
+	l := b.autoLabel("loop")
+	b.Label(l)
+	body(b)
+	return b.Jump(l)
+}
+
+// ForEachNeighbor runs body once per acquaintance-list entry, using heap
+// variable slot as the index (the FIRETRACKER scan pattern):
+//
+//	pushc 0; setvar slot
+//	$loop: getvar slot; getnbr; rjumpc $body; rjump $end
+//	$body: <body>; getvar slot; inc; setvar slot; rjump $loop
+//	$end:  pop
+//
+// body runs with the neighbor's location on top of the stack and must
+// consume it (SetVar it, migrate to it, or Pop it). The trailing pop
+// discards the invalid location getnbr pushes when the list is
+// exhausted.
+func (b *Builder) ForEachNeighbor(slot int, body func(*Builder)) *Builder {
+	lLoop, lBody, lEnd := b.autoLabel("loop"), b.autoLabel("body"), b.autoLabel("end")
+	b.PushC(0).SetVar(slot)
+	b.Label(lLoop).GetVar(slot).Getnbr()
+	b.JumpC(lBody).Jump(lEnd)
+	b.Label(lBody)
+	body(b)
+	b.GetVar(slot).Inc().SetVar(slot).Jump(lLoop)
+	return b.Label(lEnd).Pop()
+}
+
+// React registers a reaction on the template and waits for it to fire —
+// the Figure 2 prologue:
+//
+//	<push template fields>; pushc n; pushcl $body; regrxn; wait
+//	$body: <body>
+//
+// When a matching tuple is inserted, the middleware resumes the agent at
+// $body with the interrupted PC, the matched tuple's fields, and their
+// count pushed on the stack; body must consume them (the count first).
+// A reaction stays registered and can fire again, so body should leave
+// the stack as it found it before looping or waiting again.
+func (b *Builder) React(tmpl Template, body func(*Builder)) *Builder {
+	l := b.autoLabel("rxn")
+	for _, f := range tmpl.Fields {
+		b.Push(f)
+	}
+	b.PushC(len(tmpl.Fields)).PushAddr(l).Regrxn().Wait()
+	b.Label(l)
+	body(b)
+	return b
+}

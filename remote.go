@@ -46,7 +46,7 @@ func (rc *RemoteClient) opDeadline() time.Duration {
 // simulation until it resolves.
 func (rc *RemoteClient) do(op wire.RemoteOp, dest Location, t Tuple, p Template) (wire.RemoteReply, error) {
 	if rc.nw.d.Node(dest) == nil {
-		return wire.RemoteReply{}, fmt.Errorf("agilla: no node at %v", dest)
+		return wire.RemoteReply{}, fmt.Errorf("%w at %v", ErrNoSuchNode, dest)
 	}
 	var reply *wire.RemoteReply
 	var opErr error

@@ -8,17 +8,22 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/agilla-go/agilla/program"
 )
 
-// AgentSpec is one agent a Scenario injects at start: a program (source
-// or pre-assembled code) and its destination.
+// AgentSpec is one agent a Scenario injects at start: a program and its
+// destination.
 type AgentSpec struct {
 	// Name labels the agent in metrics and errors.
 	Name string
-	// Source is Agilla assembly; Code is pre-assembled bytecode. Exactly
-	// one must be set.
-	Source string
-	Code   []byte
+	// Program is a verified program from the program package (builder,
+	// Parse, FromBytes, or Library). Alternatively Source is Agilla
+	// assembly and Code is raw bytecode, both verified at injection.
+	// Exactly one of the three must be set.
+	Program *Program
+	Source  string
+	Code    []byte
 	// At is the injection destination. The zero location injects at the
 	// base station itself.
 	At Location
@@ -169,9 +174,13 @@ func (s *Scenario) run(ctx context.Context, seed int64) (*Metrics, error) {
 
 	m := &Metrics{Seed: seed, Completed: true}
 	for i, spec := range s.Agents {
-		code := spec.Code
-		if code == nil {
-			code, err = Assemble(spec.Source)
+		p := spec.Program
+		if p == nil {
+			if spec.Code != nil {
+				p, err = program.FromBytes(spec.Code)
+			} else {
+				p, err = program.Parse(spec.Source)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("scenario %q: agent %s: %w", s.Name, agentLabel(spec, i), err)
 			}
@@ -180,8 +189,8 @@ func (s *Scenario) run(ctx context.Context, seed int64) (*Metrics, error) {
 		if dest.IsZero() {
 			dest = nw.Base().Loc()
 		}
-		if _, err := nw.InjectCode(code, dest); err != nil {
-			return nil, fmt.Errorf("scenario %q: inject %s: %w", s.Name, agentLabel(spec, i), err)
+		if _, err := nw.Launch(p, dest); err != nil {
+			return nil, fmt.Errorf("scenario %q: launch %s: %w", s.Name, agentLabel(spec, i), err)
 		}
 	}
 
@@ -247,6 +256,9 @@ func (s *Scenario) run(ctx context.Context, seed int64) (*Metrics, error) {
 func agentLabel(spec AgentSpec, i int) string {
 	if spec.Name != "" {
 		return spec.Name
+	}
+	if spec.Program != nil && spec.Program.Name() != "" {
+		return spec.Program.Name()
 	}
 	return fmt.Sprintf("#%d", i)
 }

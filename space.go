@@ -33,13 +33,13 @@ func (sp Space) Loc() Location { return sp.loc }
 // Exists reports whether a node lives at the handle's location.
 func (sp Space) Exists() bool { return sp.nw.d.Node(sp.loc) != nil }
 
-// Out inserts a tuple. It fails if no node lives here, the tuple is
-// oversized, or the node's arena is full (the insertion is atomic:
-// all or nothing, §3.2).
+// Out inserts a tuple. It fails with ErrNoSuchNode if no node lives
+// here, and otherwise if the tuple is oversized or the node's arena is
+// full (the insertion is atomic: all or nothing, §3.2).
 func (sp Space) Out(t Tuple) error {
 	n := sp.nw.d.Node(sp.loc)
 	if n == nil {
-		return fmt.Errorf("agilla: no node at %v", sp.loc)
+		return fmt.Errorf("%w at %v", ErrNoSuchNode, sp.loc)
 	}
 	return n.Space().Out(t)
 }
