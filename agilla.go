@@ -43,7 +43,11 @@
 // and Custom coordinate sets — run the identical middleware over
 // different geometry. The zero-argument New() builds the paper's testbed.
 // For whole experiments (topology + field + agents + metrics, swept over
-// seeds in parallel) see Scenario.
+// seeds in parallel) see Scenario. Large deployments can run the
+// simulation kernel itself on several cores with WithWorkers(n) — the
+// sharded executor reproduces the sequential schedule event for event,
+// so results stay byte-identical per seed (see the README's Scaling
+// section).
 //
 // Hosts interact with a running network through three composable
 // surfaces:

@@ -24,6 +24,14 @@
 //	          runner (Ctrl-C cancels outstanding runs)
 //	mate      reprogramming cost vs a Maté-style VM          (E9)
 //	ablate    protocol and channel-model ablations
+//	scale     kernel event throughput on grids from 5×5 to
+//	          100×100, swept over worker counts up to
+//	          -workers; -json writes the machine-readable
+//	          rows (BENCH_scale.json schema: scenario,
+//	          nodes, workers, events, events_per_sec,
+//	          wall_secs, hash, ...). Benchmarks the kernel
+//	          rather than a paper figure, so it is not part
+//	          of "-exp all" — request it explicitly.
 package main
 
 import (
@@ -39,11 +47,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: fig9,fig10,fig11,fig12,fig5,memory,speed,casestudy,ensemble,mate,ablate,all")
+	exp := flag.String("exp", "all", "comma-separated experiments: fig9,fig10,fig11,fig12,fig5,memory,speed,casestudy,ensemble,mate,ablate,scale,all")
 	trials := flag.Int("trials", 100, "trials per data point")
 	seed := flag.Int64("seed", 7, "simulation seed")
 	runs := flag.Int("runs", 8, "seeds for the ensemble experiment")
 	quick := flag.Bool("quick", false, "reduced trial counts for a fast pass")
+	workers := flag.Int("workers", 4, "max kernel parallelism the scale experiment sweeps up to")
+	jsonPath := flag.String("json", "", "write the scale experiment's rows to this file as JSON")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -52,7 +62,7 @@ func main() {
 	// kills the process the default way.
 	context.AfterFunc(ctx, stop)
 
-	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick, Workers: *workers}
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {
@@ -102,6 +112,26 @@ func main() {
 		run(ctx, &ran, func() (fmt.Stringer, error) { return experiments.AblationEndToEnd(cfg) })
 		run(ctx, &ran, func() (fmt.Stringer, error) { return experiments.AblationLossModel(cfg) })
 		run(ctx, &ran, func() (fmt.Stringer, error) { return experiments.AblationRetries(cfg) })
+	}
+	// scale benchmarks the kernel rather than reproducing a figure, so it
+	// is opt-in: "-exp all" keeps meaning "every figure and table".
+	if want["scale"] {
+		run(ctx, &ran, func() (fmt.Stringer, error) {
+			res, err := experiments.Scale(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if *jsonPath != "" {
+				data, err := res.JSON()
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+					return nil, fmt.Errorf("write %s: %w", *jsonPath, err)
+				}
+			}
+			return res, nil
+		})
 	}
 
 	if ctx.Err() != nil {

@@ -405,6 +405,12 @@ type events struct {
 // can be drained between Run calls from the same goroutine, or
 // concurrently from another.
 //
+// Under WithWorkers(n > 1), events from different nodes executing
+// concurrently may interleave on the channel in nondeterministic order
+// (their At timestamps stay exact and each node's own events stay
+// ordered). Consumers needing a cross-node order should sort by When,
+// or filter with OnNode; the simulation itself remains deterministic.
+//
 // The channel closes after Network.Close, once already-queued events
 // have been drained.
 func (nw *Network) Events(filters ...EventFilter) <-chan Event {
@@ -465,30 +471,33 @@ func (nw *Network) installTaps() {
 	}
 	nw.ev.installed = true
 	tr := nw.d.Trace
-	now := nw.d.Sim.Now
+	// Stamp events with the reporting node's clock: under a parallel
+	// executor it is exact mid-run where the executor-wide clock is only
+	// barrier-accurate.
+	now := func(node Location) time.Duration { return nw.d.NowAt(node) }
 	tr.AgentArrived = func(node Location, id uint16, kind wire.MigKind, from Location) {
-		nw.publish(AgentArrived{At: now(), Node: node, AgentID: id, Mig: MigKind(kind), From: from})
+		nw.publish(AgentArrived{At: now(node), Node: node, AgentID: id, Mig: MigKind(kind), From: from})
 	}
 	tr.AgentHalted = func(node Location, id uint16) {
-		nw.publish(AgentHalted{At: now(), Node: node, AgentID: id})
+		nw.publish(AgentHalted{At: now(node), Node: node, AgentID: id})
 	}
 	tr.AgentDied = func(node Location, id uint16, err error) {
-		nw.publish(AgentDied{At: now(), Node: node, AgentID: id, Err: err})
+		nw.publish(AgentDied{At: now(node), Node: node, AgentID: id, Err: err})
 	}
 	tr.MigrationStarted = func(node Location, id uint16, kind wire.MigKind, dest Location) {
-		nw.publish(MigrationStarted{At: now(), Node: node, AgentID: id, Mig: MigKind(kind), Dest: dest})
+		nw.publish(MigrationStarted{At: now(node), Node: node, AgentID: id, Mig: MigKind(kind), Dest: dest})
 	}
 	tr.MigrationDone = func(node Location, id uint16, kind wire.MigKind, dest Location, ok bool) {
-		nw.publish(MigrationDone{At: now(), Node: node, AgentID: id, Mig: MigKind(kind), Dest: dest, OK: ok})
+		nw.publish(MigrationDone{At: now(node), Node: node, AgentID: id, Mig: MigKind(kind), Dest: dest, OK: ok})
 	}
 	tr.RemoteDone = func(node Location, id uint16, kind vm.RemoteKind, dest Location, ok bool, elapsed time.Duration) {
-		nw.publish(RemoteDone{At: now(), Node: node, AgentID: id, Op: RemoteKind(kind), Dest: dest, OK: ok, Elapsed: elapsed})
+		nw.publish(RemoteDone{At: now(node), Node: node, AgentID: id, Op: RemoteKind(kind), Dest: dest, OK: ok, Elapsed: elapsed})
 	}
 	tr.TupleOut = func(node Location, t Tuple) {
-		nw.publish(TupleOut{At: now(), Node: node, Tuple: t})
+		nw.publish(TupleOut{At: now(node), Node: node, Tuple: t})
 	}
 	tr.ReactionFired = func(node Location, id uint16, t Tuple) {
-		nw.publish(ReactionFired{At: now(), Node: node, AgentID: id, Tuple: t})
+		nw.publish(ReactionFired{At: now(node), Node: node, AgentID: id, Tuple: t})
 	}
 }
 

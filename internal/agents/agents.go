@@ -261,3 +261,22 @@ func SpreaderSrc(payload string) string {
 
 // Spreader assembles SpreaderSrc with the given payload.
 func Spreader(payload string) []byte { return asm.MustAssemble(SpreaderSrc(payload)) }
+
+// MonitorSrc is a steady-state sensing loop: sample the temperature,
+// discard the reading, and sleep for the period, forever. It never
+// migrates or touches the tuple space, so one copy per node produces a
+// uniform, embarrassingly node-local instruction load — the workload the
+// kernel scaling benchmark uses to measure raw event throughput.
+func MonitorSrc(sleepTicks int) string {
+	return fmt.Sprintf(`
+		BEGIN pushc TEMPERATURE
+		      sense
+		      pop
+		      pushcl %d
+		      sleep
+		      rjump BEGIN
+	`, sleepTicks)
+}
+
+// Monitor assembles MonitorSrc.
+func Monitor(sleepTicks int) []byte { return asm.MustAssemble(MonitorSrc(sleepTicks)) }

@@ -38,7 +38,7 @@ func (n *Node) InjectAgent(code []byte, dest topology.Location) (uint16, error) 
 	rec.state = AgentMigrating
 	snap := n.snapshotAgent(rec, wire.MigInject, dest)
 	if n.tracker != nil {
-		n.tracker.injected(n.loc, id)
+		n.tracker.injected(n.sim.Now(), n.loc, id)
 	}
 	if n.trace != nil && n.trace.MigrationStarted != nil {
 		n.trace.MigrationStarted(n.loc, id, wire.MigInject, dest)
@@ -83,7 +83,7 @@ func (n *Node) RemoteOp(op wire.RemoteOp, dest topology.Location, t tuplespace.T
 // instance; line, ring, random-disk, and custom layouts run the identical
 // middleware over different geometry.
 type Deployment struct {
-	Sim    *sim.Sim
+	Sim    sim.Executor
 	Medium *radio.Medium
 	Base   *Node
 	Trace  *Trace
@@ -91,6 +91,7 @@ type Deployment struct {
 	nodes   map[topology.Location]*Node
 	layout  topology.Layout
 	spec    DeploymentSpec
+	workers int
 	tracker *agentTracker
 }
 
@@ -113,6 +114,12 @@ type DeploymentSpec struct {
 	Topo topology.Topology
 	// Field drives sensor readings (nil: all sensors read 0).
 	Field sensor.Field
+	// Workers selects the simulation executor: values above 1 run the
+	// deployment on that many spatial shards executing in parallel,
+	// windowed by the radio's minimum frame delay; 0 or 1 keeps the
+	// sequential kernel. Both produce the identical per-node schedule for
+	// the same seed (see internal/sim).
+	Workers int
 }
 
 // DeploymentConfig assembles a grid Deployment; it predates DeploymentSpec
@@ -171,7 +178,6 @@ func NewDeployment(spec DeploymentSpec) (*Deployment, error) {
 	if err := spec.Layout.Validate(baseLoc); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	s := sim.New(spec.Seed)
 	params := radio.Lossy()
 	if spec.Radio != nil {
 		params = *spec.Radio
@@ -184,6 +190,34 @@ func NewDeployment(spec DeploymentSpec) (*Deployment, error) {
 	if spec.Topo != nil {
 		topo = spec.Topo
 	}
+
+	// Pick the executor. All cross-node interaction flows through radio
+	// frames, so the minimum frame delay is a sound conservative lookahead
+	// for the parallel kernel, whatever the topology.
+	workers := spec.Workers
+	window := params.FrameDelay(0)
+	if workers > len(spec.Layout.Nodes)+1 {
+		workers = len(spec.Layout.Nodes) + 1
+	}
+	if window <= 0 {
+		workers = 1 // degenerate radio timing: no safe lookahead
+	}
+	var s sim.Executor
+	if workers > 1 {
+		locs := append([]topology.Location{baseLoc}, spec.Layout.Nodes...)
+		strip := topology.PartitionStrips(locs, workers)
+		byKey := make(map[sim.ContextKey]int, len(strip))
+		for loc, sh := range strip {
+			byKey[sim.Key2D(loc.X, loc.Y)] = sh
+		}
+		s = sim.NewParallel(spec.Seed, workers, window, func(k sim.ContextKey) int {
+			return byKey[k] // unknown keys (harness contexts) ride shard 0
+		})
+	} else {
+		workers = 1
+		s = sim.New(spec.Seed)
+	}
+
 	medium := radio.NewMedium(s, topo, params)
 	trace := &Trace{}
 
@@ -194,7 +228,8 @@ func NewDeployment(spec DeploymentSpec) (*Deployment, error) {
 		nodes:   make(map[topology.Location]*Node, len(spec.Layout.Nodes)+1),
 		layout:  spec.Layout,
 		spec:    spec,
-		tracker: newAgentTracker(s.Now),
+		workers: workers,
+		tracker: newAgentTracker(),
 	}
 
 	baseCfg := spec.Node
@@ -209,7 +244,7 @@ func NewDeployment(spec DeploymentSpec) (*Deployment, error) {
 		baseCfg.RegistryMax = 128
 	}
 
-	base, err := NewNode(s, medium, baseLoc, 0, nil, baseCfg, trace)
+	base, err := NewNode(s.Context(sim.Key2D(baseLoc.X, baseLoc.Y)), medium, baseLoc, 0, nil, baseCfg, trace)
 	if err != nil {
 		return nil, fmt.Errorf("core: base station: %w", err)
 	}
@@ -220,7 +255,7 @@ func NewDeployment(spec DeploymentSpec) (*Deployment, error) {
 	idx := uint8(1)
 	for _, loc := range spec.Layout.Nodes {
 		board := sensor.NewBoard(loc, spec.Field, sensor.DefaultSensors()...)
-		n, err := NewNode(s, medium, loc, idx, board, spec.Node, trace)
+		n, err := NewNode(s.Context(sim.Key2D(loc.X, loc.Y)), medium, loc, idx, board, spec.Node, trace)
 		if err != nil {
 			return nil, fmt.Errorf("core: node %v: %w", loc, err)
 		}
@@ -229,6 +264,20 @@ func NewDeployment(spec DeploymentSpec) (*Deployment, error) {
 		idx++
 	}
 	return d, nil
+}
+
+// Workers returns the effective parallelism of the deployment's executor:
+// 1 for the sequential kernel, the shard count otherwise.
+func (d *Deployment) Workers() int { return d.workers }
+
+// NowAt returns the virtual clock of the node at loc — exact even while a
+// parallel run is in flight, where the executor-wide clock is only
+// barrier-accurate. Unknown locations fall back to the executor clock.
+func (d *Deployment) NowAt(loc topology.Location) time.Duration {
+	if n := d.nodes[loc]; n != nil {
+		return n.Now()
+	}
+	return d.Sim.Now()
 }
 
 // Layout returns the deployment's layout.
@@ -244,8 +293,9 @@ func (d *Deployment) Locations() []topology.Location {
 	return append([]topology.Location(nil), d.layout.Nodes...)
 }
 
-// Start begins beaconing on every node, in location order so the beacon
-// offsets drawn from the shared RNG are reproducible.
+// Start begins beaconing on every node. Each node's beacon offset draws
+// from its own per-node stream, so the order is immaterial; location order
+// is kept for tidiness.
 func (d *Deployment) Start() {
 	for _, n := range d.Nodes() {
 		n.Start()

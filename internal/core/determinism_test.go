@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/agilla-go/agilla/internal/agents"
+	"github.com/agilla-go/agilla/internal/asm"
+	"github.com/agilla-go/agilla/internal/radio"
+	"github.com/agilla-go/agilla/internal/topology"
+	"github.com/agilla-go/agilla/internal/tuplespace"
+	"github.com/agilla-go/agilla/internal/vm"
+	"github.com/agilla-go/agilla/internal/wire"
+)
+
+// The parallel executor's contract is exact: for the same seed, every
+// node must observe the same schedule the sequential executor produces —
+// under the calibrated lossy radio, with multi-hop migrations, remote
+// operations, and reactions in flight. These tests hash the full
+// middleware event trace — (time, per-node sequence, node, kind, agent)
+// for every trace hook firing — and require it byte-identical across
+// executors, on grid, ring, and random-disk topologies and several seeds.
+
+// traceRecorder captures every middleware event with the reporting node's
+// exact clock. The hooks fire concurrently under a parallel executor, so
+// recording locks; per-node sequence numbers make the eventual sort
+// total without imposing an order across concurrently executing nodes.
+type traceRecorder struct {
+	mu    sync.Mutex
+	seq   map[topology.Location]int
+	lines []traceLine
+}
+
+type traceLine struct {
+	at   time.Duration
+	node topology.Location
+	seq  int
+	desc string
+}
+
+func newTraceRecorder() *traceRecorder {
+	return &traceRecorder{seq: make(map[topology.Location]int)}
+}
+
+func (r *traceRecorder) add(at time.Duration, node topology.Location, format string, args ...any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq[node]++
+	r.lines = append(r.lines, traceLine{at: at, node: node, seq: r.seq[node], desc: fmt.Sprintf(format, args...)})
+}
+
+// install wires the recorder into every hook of the deployment's trace.
+func (r *traceRecorder) install(d *Deployment) {
+	now := func(loc topology.Location) time.Duration { return d.NowAt(loc) }
+	tr := d.Trace
+	tr.AgentArrived = func(node topology.Location, id uint16, kind wire.MigKind, from topology.Location) {
+		r.add(now(node), node, "arrived %d %v from %v", id, kind, from)
+	}
+	tr.AgentHalted = func(node topology.Location, id uint16) {
+		r.add(now(node), node, "halted %d", id)
+	}
+	tr.AgentDied = func(node topology.Location, id uint16, err error) {
+		r.add(now(node), node, "died %d %v", id, err)
+	}
+	tr.MigrationStarted = func(node topology.Location, id uint16, kind wire.MigKind, dest topology.Location) {
+		r.add(now(node), node, "mig-start %d %v -> %v", id, kind, dest)
+	}
+	tr.MigrationDone = func(node topology.Location, id uint16, kind wire.MigKind, dest topology.Location, ok bool) {
+		r.add(now(node), node, "mig-done %d %v -> %v %v", id, kind, dest, ok)
+	}
+	tr.RemoteDone = func(node topology.Location, id uint16, kind vm.RemoteKind, dest topology.Location, ok bool, elapsed time.Duration) {
+		r.add(now(node), node, "remote %d %v -> %v %v %d", id, kind, dest, ok, elapsed)
+	}
+	tr.TupleOut = func(node topology.Location, t tuplespace.Tuple) {
+		r.add(now(node), node, "out %v", t)
+	}
+	tr.ReactionFired = func(node topology.Location, id uint16, t tuplespace.Tuple) {
+		r.add(now(node), node, "rxn %d %v", id, t)
+	}
+}
+
+// hash renders the trace sorted by (time, node, per-node seq) and digests
+// it. Per-node subsequences are already ordered; the sort only interleaves
+// nodes, deterministically.
+func (r *traceRecorder) hash() (uint64, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sort.Slice(r.lines, func(i, j int) bool {
+		a, b := r.lines[i], r.lines[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.node != b.node {
+			if a.node.Y != b.node.Y {
+				return a.node.Y < b.node.Y
+			}
+			return a.node.X < b.node.X
+		}
+		return a.seq < b.seq
+	})
+	h := fnv.New64a()
+	for _, l := range r.lines {
+		fmt.Fprintf(h, "%d|%v|%d|%s\n", l.at, l.node, l.seq, l.desc)
+	}
+	return h.Sum64(), len(r.lines)
+}
+
+// reactorSrc registers a reaction on <"png"> tuples that lights the LEDs,
+// then waits forever — reaction firings from remote routs exercise the
+// registry under both executors.
+const reactorSrc = `
+	      pushn png
+	      pushc 1
+	      pushcl REACT
+	      regrxn
+	LOOP  pushcl 8
+	      sleep
+	      rjump LOOP
+	REACT pop           // field count pushed by the firing
+	      pop           // the "png" field
+	      pushc 7
+	      putled
+	      jumps         // resume at the saved PC
+`
+
+// runDeterminismWorkload builds a deployment over the layout, runs a
+// workload that exercises migration, remote ops, and reactions for 25
+// virtual seconds, and returns the trace hash, trace length, and final
+// counters.
+func runDeterminismWorkload(t *testing.T, layout topology.Layout, seed int64, workers int) (uint64, int, NodeStats, Stats2) {
+	t.Helper()
+	d, err := NewDeployment(DeploymentSpec{Layout: layout, Seed: seed, Workers: workers})
+	if err != nil {
+		t.Fatalf("deployment: %v", err)
+	}
+	rec := newTraceRecorder()
+	rec.install(d)
+
+	if err := d.WarmUp(); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+
+	locs := d.Locations()
+	far := locs[len(locs)-1]
+	mid := locs[len(locs)/2]
+
+	// Multi-hop round trips from the base, a remote rout toward a far
+	// mote, and a reaction listener at the midpoint.
+	roundTrip := asm.MustAssemble(agents.SmoveRoundTripSrc(far, d.Base.Loc()))
+	if _, err := d.Base.InjectAgent(roundTrip, locs[0]); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	if _, err := d.Base.InjectAgent(asm.MustAssemble(agents.RoutSrc(mid)), locs[0]); err != nil {
+		t.Fatalf("inject rout: %v", err)
+	}
+	if n := d.Node(mid); n != nil {
+		if _, err := n.CreateAgent(asm.MustAssemble(reactorSrc)); err != nil {
+			t.Fatalf("reactor: %v", err)
+		}
+	}
+	// Base-station remote op against the midpoint as well.
+	d.Base.RemoteOp(wire.OpRout, mid, tuplespace.T(tuplespace.Str("png")), tuplespace.Template{}, nil)
+
+	if err := d.Sim.Run(d.Sim.Now() + 25*time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	h, n := rec.hash()
+	return h, n, d.TotalStats(), Stats2{Medium: d.Medium.Stats(), Now: d.Sim.Now(), Events: d.Sim.Executed()}
+}
+
+// Stats2 bundles the executor-level quantities the comparison also pins.
+type Stats2 struct {
+	Medium radio.Stats
+	Now    time.Duration
+	Events uint64
+}
+
+func (s Stats2) String() string {
+	return fmt.Sprintf("%+v now=%d events=%d", s.Medium, s.Now, s.Events)
+}
+
+func determinismLayouts(seed int64) map[string]topology.Layout {
+	return map[string]topology.Layout{
+		"grid":  topology.GridLayout(4, 4),
+		"ring":  topology.RingLayout(10),
+		"disk":  topology.RandomDiskLayout(12, 6, 2.0, seed),
+		"line6": topology.LineLayout(6),
+	}
+}
+
+func TestParallelExecutorMatchesSequentialTrace(t *testing.T) {
+	for _, seed := range []int64{3, 17, 99} {
+		for name, layout := range determinismLayouts(seed) {
+			name, layout, seed := name, layout, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", name, seed), func(t *testing.T) {
+				wantHash, wantLen, wantStats, wantExec := runDeterminismWorkload(t, layout, seed, 1)
+				if wantLen == 0 {
+					t.Fatal("sequential run produced no trace events")
+				}
+				for _, workers := range []int{2, 4} {
+					gotHash, gotLen, gotStats, gotExec := runDeterminismWorkload(t, layout, seed, workers)
+					if gotLen != wantLen || gotHash != wantHash {
+						t.Errorf("workers=%d: trace hash %016x (%d events), want %016x (%d events)",
+							workers, gotHash, gotLen, wantHash, wantLen)
+					}
+					if gotStats != wantStats {
+						t.Errorf("workers=%d: stats %+v, want %+v", workers, gotStats, wantStats)
+					}
+					if gotExec.String() != wantExec.String() {
+						t.Errorf("workers=%d: executor state %v, want %v", workers, gotExec, wantExec)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelDeploymentBarrierStress drives a denser deployment under the
+// parallel executor; with -race it proves the medium arenas, tracker, and
+// trace fan-in are properly synchronized.
+func TestParallelDeploymentBarrierStress(t *testing.T) {
+	d, err := NewDeployment(DeploymentSpec{Layout: topology.GridLayout(6, 6), Seed: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newTraceRecorder()
+	rec.install(d)
+	if err := d.WarmUp(); err != nil {
+		t.Fatal(err)
+	}
+	locs := d.Locations()
+	monitor := asm.MustAssemble(agents.MonitorSrc(2))
+	for _, loc := range locs {
+		if _, err := d.Node(loc).CreateAgent(monitor); err != nil {
+			t.Fatal(err)
+		}
+	}
+	far := locs[len(locs)-1]
+	if _, err := d.Base.InjectAgent(asm.MustAssemble(agents.SmoveRoundTripSrc(far, d.Base.Loc())), locs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sim.Run(d.Sim.Now() + 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, n := rec.hash(); n == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	if d.Sim.Executed() == 0 {
+		t.Fatal("executor did nothing")
+	}
+}

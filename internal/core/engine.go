@@ -47,7 +47,7 @@ func (n *Node) pump() {
 		return
 	}
 	n.busy = true
-	n.sim.Post(n.engineStep)
+	n.sim.Post(n.stepFn)
 }
 
 // engineStep runs exactly one instruction of the agent at the head of the
@@ -101,7 +101,7 @@ func (n *Node) engineStep() {
 
 	if len(n.runQueue) > 0 || rec.state == AgentReady {
 		n.busy = true
-		n.sim.Schedule(out.Cost, n.engineStep)
+		n.sim.Schedule(out.Cost, n.stepFn)
 	}
 }
 
@@ -130,7 +130,7 @@ func (n *Node) applyEffect(rec *record, out vm.Outcome) {
 		rec.state = AgentDead
 		n.stats.AgentsHalted++
 		if n.tracker != nil {
-			n.tracker.finish(n.loc, rec.agent.ID, true, nil)
+			n.tracker.finish(n.sim.Now(), n.loc, rec.agent.ID, true, nil)
 		}
 		if n.trace != nil && n.trace.AgentHalted != nil {
 			n.trace.AgentHalted(n.loc, rec.agent.ID)
@@ -179,7 +179,7 @@ func (n *Node) killAgent(rec *record, err error) {
 	rec.state = AgentDead
 	n.stats.AgentsDied++
 	if n.tracker != nil {
-		n.tracker.finish(n.loc, rec.agent.ID, false, err)
+		n.tracker.finish(n.sim.Now(), n.loc, rec.agent.ID, false, err)
 	}
 	if n.trace != nil && n.trace.AgentDied != nil {
 		n.trace.AgentDied(n.loc, rec.agent.ID, err)

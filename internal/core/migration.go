@@ -115,7 +115,7 @@ func (n *Node) startMigration(rec *record, out vm.Outcome) {
 	rec.state = AgentMigrating
 	snap := n.snapshotAgent(rec, kind, dest)
 	if n.tracker != nil {
-		n.tracker.migStarted(n.loc, rec.agent.ID)
+		n.tracker.migStarted(n.sim.Now(), n.loc, rec.agent.ID)
 	}
 	if n.trace != nil && n.trace.MigrationStarted != nil {
 		n.trace.MigrationStarted(n.loc, rec.agent.ID, kind, dest)
@@ -145,7 +145,7 @@ func (n *Node) migrateToSelf(rec *record, kind wire.MigKind) {
 			return
 		}
 		if n.tracker != nil {
-			n.tracker.cloned(n.loc, rec.agent.ID, clone.ID)
+			n.tracker.cloned(n.sim.Now(), n.loc, rec.agent.ID, clone.ID)
 		}
 		if kind.Strong() {
 			// The clone inherits the parent's registered reactions.
@@ -359,7 +359,7 @@ func (n *Node) finishTransferOK(om *outMigration) {
 	// minted at the destination), so crediting these hops would inflate
 	// a stationary cloning agent's hop count.
 	if n.tracker != nil && !isClone {
-		n.tracker.hopDone(n.loc, om.key.agentID, true)
+		n.tracker.hopDone(n.sim.Now(), n.loc, om.key.agentID, true)
 	}
 	if n.trace != nil && n.trace.MigrationDone != nil {
 		n.trace.MigrationDone(n.loc, om.key.agentID, om.snap.kind, om.snap.dest, true)
@@ -381,7 +381,7 @@ func (n *Node) failTransfer(om *outMigration) {
 	n.clearOut(om)
 	n.stats.MigrationsFail++
 	if n.tracker != nil {
-		n.tracker.hopDone(n.loc, om.key.agentID, false)
+		n.tracker.hopDone(n.sim.Now(), n.loc, om.key.agentID, false)
 	}
 	if n.trace != nil && n.trace.MigrationDone != nil {
 		n.trace.MigrationDone(n.loc, om.key.agentID, om.snap.kind, om.snap.dest, false)
@@ -681,7 +681,7 @@ func (n *Node) finalizeIn(im *inMigration) {
 		a.Condition = 1
 		n.enqueue(rec)
 		if isClone && n.tracker != nil {
-			n.tracker.cloned(n.loc, st.AgentID, id)
+			n.tracker.cloned(n.sim.Now(), n.loc, st.AgentID, id)
 		}
 		n.noteArrival(id, st.Kind, im.key.from)
 		return

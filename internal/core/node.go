@@ -81,9 +81,12 @@ type record struct {
 }
 
 // Node is one simulated mote running the Agilla middleware.
-// Construct with NewNode; not safe for concurrent use.
+// Construct with NewNode; not safe for concurrent use. Under a parallel
+// executor the node is confined to its scheduling context's shard: its
+// engine, tuple space, registry, and protocol state are only ever touched
+// by events running there.
 type Node struct {
-	sim    *sim.Sim
+	sim    *sim.Ctx
 	cfg    Config
 	loc    topology.Location
 	medium *radio.Medium
@@ -96,7 +99,8 @@ type Node struct {
 
 	agents   map[uint16]*record
 	runQueue []*record
-	busy     bool // an engine step is scheduled
+	busy     bool   // an engine step is scheduled
+	stepFn   func() // engineStep as a value: one instruction per event makes a fresh method closure per step measurable
 
 	nodeIndex  uint8 // high byte of locally assigned agent IDs
 	agentCount uint8 // low byte counter
@@ -119,8 +123,10 @@ type Node struct {
 
 // NewNode builds a mote at loc, attaches it to the medium, and seeds its
 // tuple space with the pre-defined context tuples (§2.2). The board may be
-// nil for a sensorless node.
-func NewNode(s *sim.Sim, medium *radio.Medium, loc topology.Location, nodeIndex uint8, board *sensor.Board, cfg Config, trace *Trace) (*Node, error) {
+// nil for a sensorless node. The context must be the one keyed to loc
+// (sim.Key2D), the same context the medium registers on Attach, so the
+// node's timers and the radio's deliveries share one ordering identity.
+func NewNode(s *sim.Ctx, medium *radio.Medium, loc topology.Location, nodeIndex uint8, board *sensor.Board, cfg Config, trace *Trace) (*Node, error) {
 	cfg = cfg.withDefaults()
 	n := &Node{
 		sim:       s,
@@ -140,6 +146,7 @@ func NewNode(s *sim.Sim, medium *radio.Medium, loc topology.Location, nodeIndex 
 		served:    make(map[servedKey]servedReply),
 		trace:     trace,
 	}
+	n.stepFn = n.engineStep
 	n.net = network.NewStack(s, medium, loc, cfg.Network)
 	n.net.NumAgents = func() int { return len(n.agents) }
 	n.net.DeliverDirect = n.handleDirect
@@ -157,6 +164,9 @@ func (n *Node) Start() { n.net.Start() }
 
 // Stop silences the node (a dead mote): detaches the radio and halts
 // beacons. Hosted agents are not reclaimed — they die with the node.
+// Under a parallel executor, call Stop only while the executor is paused
+// (between Run calls): detaching mutates medium state other shards read
+// without locks.
 func (n *Node) Stop() {
 	n.stopped = true
 	n.net.Stop()
@@ -165,6 +175,10 @@ func (n *Node) Stop() {
 
 // Loc returns the node's location (which is its address, §2.2).
 func (n *Node) Loc() topology.Location { return n.loc }
+
+// Now returns the node's current virtual time: its shard clock under a
+// parallel executor, the global clock otherwise.
+func (n *Node) Now() time.Duration { return n.sim.Now() }
 
 // Config returns the node's effective configuration (defaults applied).
 func (n *Node) Config() Config { return n.cfg }
@@ -229,7 +243,7 @@ func (n *Node) KillAgent(id uint16) bool {
 	}
 	rec.state = AgentDead
 	if n.tracker != nil {
-		n.tracker.finish(n.loc, id, false, nil)
+		n.tracker.finish(n.sim.Now(), n.loc, id, false, nil)
 	}
 	n.reclaim(id)
 	return true
@@ -292,7 +306,7 @@ func (n *Node) reclaim(id uint16) {
 
 func (n *Node) noteArrival(id uint16, kind wire.MigKind, from topology.Location) {
 	if n.tracker != nil {
-		n.tracker.arrived(n.loc, id, kind, from)
+		n.tracker.arrived(n.sim.Now(), n.loc, id, kind)
 	}
 	if n.trace != nil && n.trace.AgentArrived != nil {
 		n.trace.AgentArrived(n.loc, id, kind, from)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/agilla-go/agilla/internal/topology"
@@ -50,21 +51,26 @@ func (i AgentInfo) Done() bool { return i.State == AgentDead }
 
 // agentTracker is the deployment-level agent registry. It is fed by
 // direct hooks in the engine and migration code (not via Trace, so user
-// trace callbacks stay free for callers) and is only touched from
-// simulator events — no locking needed.
+// trace callbacks stay free for callers). Under a parallel executor the
+// hooks fire concurrently from shard workers, so updates lock; a given
+// agent's lifecycle events are causally ordered through the radio, so the
+// final record is the same whatever order unrelated agents' updates
+// interleave in. Timestamps are supplied by the reporting node, whose
+// shard clock is exact where the executor-wide clock is only
+// barrier-accurate.
 type agentTracker struct {
-	now    func() time.Duration
+	mu     sync.Mutex
 	agents map[uint16]*AgentInfo
 }
 
-func newAgentTracker(now func() time.Duration) *agentTracker {
-	return &agentTracker{now: now, agents: make(map[uint16]*AgentInfo)}
+func newAgentTracker() *agentTracker {
+	return &agentTracker{agents: make(map[uint16]*AgentInfo)}
 }
 
-func (t *agentTracker) ensure(id uint16) *AgentInfo {
+func (t *agentTracker) ensure(id uint16, now time.Duration) *AgentInfo {
 	info, ok := t.agents[id]
 	if !ok {
-		info = &AgentInfo{ID: id, BornAt: t.now()}
+		info = &AgentInfo{ID: id, BornAt: now}
 		t.agents[id] = info
 	}
 	return info
@@ -76,45 +82,53 @@ func (t *agentTracker) ensure(id uint16) *AgentInfo {
 // of resurrecting (and merging stats with) the dead one. A live record
 // is kept: that is the same lifetime (e.g. the arrival completing an
 // injection this tracker already opened).
-func (t *agentTracker) born(id uint16) *AgentInfo {
+func (t *agentTracker) born(id uint16, now time.Duration) *AgentInfo {
 	if info, ok := t.agents[id]; ok && info.State != AgentDead {
 		return info
 	}
-	info := &AgentInfo{ID: id, BornAt: t.now()}
+	info := &AgentInfo{ID: id, BornAt: now}
 	t.agents[id] = info
 	return info
 }
 
 // arrived records an agent materializing on a node: injection completion,
 // local creation, move arrival, or clone instantiation.
-func (t *agentTracker) arrived(node topology.Location, id uint16, kind wire.MigKind, _ topology.Location) {
+func (t *agentTracker) arrived(now time.Duration, node topology.Location, id uint16, kind wire.MigKind) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var info *AgentInfo
 	if kind == wire.MigInject {
-		info = t.born(id) // creation mints the ID; moves reuse a live one
+		info = t.born(id, now) // creation mints the ID; moves reuse a live one
 	} else {
-		info = t.ensure(id)
+		info = t.ensure(id, now)
 	}
 	info.Loc = node
 	info.State = AgentReady
 }
 
 // injected records a fresh agent leaving its injecting node.
-func (t *agentTracker) injected(node topology.Location, id uint16) {
-	info := t.born(id)
+func (t *agentTracker) injected(now time.Duration, node topology.Location, id uint16) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	info := t.born(id, now)
 	info.Loc = node
 	info.State = AgentMigrating
 }
 
 // migStarted records a transfer of a live agent leaving node.
-func (t *agentTracker) migStarted(node topology.Location, id uint16) {
-	info := t.ensure(id)
+func (t *agentTracker) migStarted(now time.Duration, node topology.Location, id uint16) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	info := t.ensure(id, now)
 	info.Loc = node
 	info.State = AgentMigrating
 }
 
 // hopDone records the sender-side conclusion of one hop transfer.
-func (t *agentTracker) hopDone(node topology.Location, id uint16, ok bool) {
-	info := t.ensure(id)
+func (t *agentTracker) hopDone(now time.Duration, node topology.Location, id uint16, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	info := t.ensure(id, now)
 	if ok {
 		info.Hops++
 		return
@@ -128,33 +142,59 @@ func (t *agentTracker) hopDone(node topology.Location, id uint16, ok bool) {
 // cloned records a clone instantiation, attributing it to the parent.
 // The clone's ID is freshly minted, so a dead record under it is a
 // previous lifetime of a wrapped ID.
-func (t *agentTracker) cloned(node topology.Location, parent, clone uint16) {
-	t.ensure(parent).Clones++
-	info := t.born(clone)
+func (t *agentTracker) cloned(now time.Duration, node topology.Location, parent, clone uint16) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensure(parent, now).Clones++
+	info := t.born(clone, now)
 	info.Parent = parent
 	info.Loc = node
 	info.State = AgentReady
 }
 
-func (t *agentTracker) finish(node topology.Location, id uint16, halted bool, err error) {
-	info := t.ensure(id)
+func (t *agentTracker) finish(now time.Duration, node topology.Location, id uint16, halted bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	info := t.ensure(id, now)
 	info.Loc = node
 	info.State = AgentDead
 	info.Halted = halted
 	info.Err = err
 	if info.DoneAt == 0 {
-		info.DoneAt = t.now()
+		info.DoneAt = now
 	}
+}
+
+// get returns a copy of the tracked record for id.
+func (t *agentTracker) get(id uint16) (AgentInfo, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	info, ok := t.agents[id]
+	if !ok {
+		return AgentInfo{}, false
+	}
+	return *info, true
+}
+
+// ids returns every tracked agent ID, sorted.
+func (t *agentTracker) ids() []uint16 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]uint16, 0, len(t.agents))
+	for id := range t.agents {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // AgentRecord returns the tracked info for an agent, refining the coarse
 // state with the hosting node's live engine state when available.
 func (d *Deployment) AgentRecord(id uint16) (AgentInfo, bool) {
-	info, ok := d.tracker.agents[id]
+	out, ok := d.tracker.get(id)
 	if !ok {
 		return AgentInfo{}, false
 	}
-	out := *info
 	if n := d.nodes[out.Loc]; n != nil && out.State != AgentDead {
 		if st, hosted := n.AgentInfo(id); hosted {
 			out.State = st
@@ -165,19 +205,19 @@ func (d *Deployment) AgentRecord(id uint16) (AgentInfo, bool) {
 
 // AgentRecords returns every tracked agent, sorted by ID.
 func (d *Deployment) AgentRecords() []AgentInfo {
-	out := make([]AgentInfo, 0, len(d.tracker.agents))
-	for id := range d.tracker.agents {
+	ids := d.tracker.ids()
+	out := make([]AgentInfo, 0, len(ids))
+	for _, id := range ids {
 		info, _ := d.AgentRecord(id)
 		out = append(out, info)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // FindAgent returns the node currently hosting the agent, or nil if it is
 // in flight, dead, or unknown.
 func (d *Deployment) FindAgent(id uint16) *Node {
-	info, ok := d.tracker.agents[id]
+	info, ok := d.tracker.get(id)
 	if !ok {
 		return nil
 	}

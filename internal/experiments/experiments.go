@@ -36,6 +36,9 @@ type Config struct {
 	Seed int64
 	// Quick reduces trial counts for smoke tests.
 	Quick bool
+	// Workers is the maximum kernel parallelism the scale experiment
+	// sweeps up to (default 4; 1 keeps everything sequential).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -44,6 +47,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Quick && c.Trials > 20 {
 		c.Trials = 20
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
 	}
 	return c
 }

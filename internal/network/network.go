@@ -144,7 +144,7 @@ type Stats struct {
 // Construct with NewStack; not safe for concurrent use (the simulation is
 // single-threaded).
 type Stack struct {
-	sim    *sim.Sim
+	sim    *sim.Ctx
 	medium *radio.Medium
 	self   topology.Location
 	cfg    Config
@@ -153,6 +153,7 @@ type Stack struct {
 
 	started bool
 	stopped bool
+	tickFn  func() // beaconTick as a value, allocated once
 
 	// DeliverRouted receives envelope payloads whose final destination is
 	// this node (remote tuple space requests and replies).
@@ -164,8 +165,10 @@ type Stack struct {
 	NumAgents func() int
 }
 
-// NewStack attaches a network layer for a node at self.
-func NewStack(s *sim.Sim, medium *radio.Medium, self topology.Location, cfg Config) *Stack {
+// NewStack attaches a network layer for a node at self. The context must
+// be the node's own scheduling context: beacon timers run on it and the
+// randomized beacon offset draws from its stream.
+func NewStack(s *sim.Ctx, medium *radio.Medium, self topology.Location, cfg Config) *Stack {
 	cfg = cfg.withDefaults()
 	return &Stack{
 		sim:    s,
@@ -192,8 +195,9 @@ func (st *Stack) Start() {
 		return
 	}
 	st.started = true
+	st.tickFn = st.beaconTick
 	offset := time.Duration(st.sim.Rand().Int63n(int64(st.cfg.BeaconEvery)))
-	st.sim.Schedule(offset, st.beaconTick)
+	st.sim.Schedule(offset, st.tickFn)
 }
 
 // Stop halts future beacons (the mote died).
@@ -205,7 +209,7 @@ func (st *Stack) beaconTick() {
 	}
 	st.SendBeacon()
 	st.acq.Expire(st.sim.Now())
-	st.sim.Schedule(st.cfg.BeaconEvery, st.beaconTick)
+	st.sim.Schedule(st.cfg.BeaconEvery, st.tickFn)
 }
 
 // SendBeacon broadcasts one neighbor-discovery beacon immediately.

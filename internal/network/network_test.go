@@ -17,7 +17,7 @@ func testNet(t *testing.T, w, h int, cfg Config) (*sim.Sim, *radio.Medium, map[t
 	m := radio.NewMedium(s, topology.Grid{}, radio.ZeroLoss())
 	stacks := make(map[topology.Location]*Stack)
 	for _, loc := range topology.GridLocations(w, h) {
-		st := NewStack(s, m, loc, cfg)
+		st := NewStack(s.Context(sim.Key2D(loc.X, loc.Y)), m, loc, cfg)
 		if err := m.Attach(loc, receiverFunc(st.HandleFrame)); err != nil {
 			t.Fatalf("attach %v: %v", loc, err)
 		}
@@ -141,7 +141,7 @@ func TestGreedyRouteDelivers(t *testing.T) {
 
 func TestRouteToSelfDeliversLocally(t *testing.T) {
 	s, m, _ := testNet(t, 1, 1, Config{})
-	st := NewStack(s, m, topology.Loc(9, 9), Config{})
+	st := NewStack(s.Context(sim.Key2D(9, 9)), m, topology.Loc(9, 9), Config{})
 	got := false
 	st.DeliverRouted = func(kind uint8, env wire.Envelope) { got = true }
 	if err := st.SendRouted(topology.Loc(9, 9), radio.KindRemoteTS, []byte{1}); err != nil {
@@ -158,7 +158,7 @@ func TestRouteToSelfDeliversLocally(t *testing.T) {
 func TestRouteStallsWithoutProgress(t *testing.T) {
 	// Single node: no neighbors at all, so any remote destination stalls.
 	s, m, _ := testNet(t, 1, 1, Config{})
-	st := NewStack(s, m, topology.Loc(1, 1), Config{})
+	st := NewStack(s.Context(sim.Key2D(1, 1)), m, topology.Loc(1, 1), Config{})
 	if err := st.SendRouted(topology.Loc(5, 5), radio.KindRemoteTS, nil); err == nil {
 		t.Error("want ErrNoRoute")
 	}
@@ -213,8 +213,8 @@ func TestTTLStopsRoutingLoops(t *testing.T) {
 	// forever thanks to the TTL.
 	s := sim.New(7)
 	m := radio.NewMedium(s, topology.Disk{Range: 10}, radio.ZeroLoss())
-	a := NewStack(s, m, topology.Loc(1, 1), Config{TTL: 4})
-	b := NewStack(s, m, topology.Loc(1, 2), Config{TTL: 4})
+	a := NewStack(s.Context(sim.Key2D(1, 1)), m, topology.Loc(1, 1), Config{TTL: 4})
+	b := NewStack(s.Context(sim.Key2D(1, 2)), m, topology.Loc(1, 2), Config{TTL: 4})
 	if err := m.Attach(a.Self(), receiverFunc(a.HandleFrame)); err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +247,7 @@ func TestTTLStopsRoutingLoops(t *testing.T) {
 func TestNextHopPrefersDestination(t *testing.T) {
 	s := sim.New(1)
 	m := radio.NewMedium(s, topology.Grid{}, radio.ZeroLoss())
-	st := NewStack(s, m, topology.Loc(2, 2), Config{})
+	st := NewStack(s.Context(sim.Key2D(2, 2)), m, topology.Loc(2, 2), Config{})
 	st.Acquaintances().Update(topology.Loc(2, 3), 0, 0)
 	st.Acquaintances().Update(topology.Loc(3, 2), 0, 0)
 

@@ -20,10 +20,21 @@
 // location, §2.2) and exchange Frames. Delivery respects the configured
 // Topology, which for the paper's testbed filters everything except
 // immediate grid neighbors (§4).
+//
+// The medium is driven by a sim.Executor. Each attached location gets a
+// scheduling context; a frame's delivery is keyed by the sender's context
+// and scheduled onto the receiver's, which is what lets the parallel
+// executor replay the sequential schedule exactly. All per-frame
+// randomness (loss sampling, processing jitter) draws from a stream owned
+// by the directed link, so the values never depend on what other links
+// transmitted in between. Link state, statistics, and the per-source
+// neighbor cache are held in per-shard arenas: every send executes on the
+// sending node's shard, so the arenas are touched without locks.
 package radio
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -56,7 +67,8 @@ type Frame struct {
 func (f Frame) IsBroadcast() bool { return f.Dst == Broadcast }
 
 // Receiver is implemented by anything attached to the medium (motes and the
-// base station bridge).
+// base station bridge). A received frame's payload is shared between the
+// medium and every receiver of the same broadcast: treat it as read-only.
 type Receiver interface {
 	ReceiveFrame(f Frame)
 }
@@ -122,14 +134,27 @@ func (p Params) FrameDelay(payloadLen int) time.Duration {
 	return p.Airtime(payloadLen) + p.ProcDelay
 }
 
+// randomized reports whether the parameters draw any per-frame randomness
+// (loss or jitter). A non-randomized medium (ZeroLoss) allocates no link
+// state at all.
+func (p Params) randomized() bool {
+	return p.ProcJitter > 0 || p.LossGood > 0 || (p.LossBad > 0 && p.PGoodBad > 0)
+}
+
 type link struct {
 	from, to topology.Location
 }
 
-// geState is the Gilbert–Elliott channel state for one directed link.
-type geState struct {
+// linkState is the per-directed-link channel state: the Gilbert–Elliott
+// chain position and the link's private random stream, from which both
+// loss sampling and processing jitter draw.
+type linkState struct {
 	bad bool
+	rng *rand.Rand
 }
+
+// saltLink namespaces per-link streams within the seed's stream space.
+const saltLink = 0x6c696e6b // "link"
 
 // Stats counts medium activity; read it after a run for the E9 comparison
 // and general diagnostics.
@@ -139,21 +164,44 @@ type Stats struct {
 	Dropped   uint64 // receptions lost to the channel
 	NoRoute   uint64 // unicast frames with no connected destination
 	Bytes     uint64 // payload bytes offered
+	Links     uint64 // directed links with live channel state
 }
 
-// Medium is the shared channel. Construct with NewMedium; not safe for
-// concurrent use (the simulation kernel is single-threaded by design).
+// attachment is one location's registration: its receiver (nil after
+// Detach — the context outlives the node so in-flight traffic keyed by it
+// stays deterministic) and its scheduling context.
+type attachment struct {
+	r   Receiver
+	ctx *sim.Ctx
+}
+
+// mediumShard is the slice of medium state owned by one executor shard.
+// Every field is only touched by sends whose source node lives on the
+// shard, so no locking is needed even under the parallel executor.
+type mediumShard struct {
+	stats Stats
+	links map[link]*linkState
+	// nbrs caches, per source, the connected attached locations in (Y,X)
+	// order — the broadcast fan-out list. Entries are invalidated when a
+	// new location attaches; detached receivers are skipped at delivery.
+	nbrs map[topology.Location][]topology.Location
+}
+
+// Medium is the shared channel. Construct with NewMedium. Attach and
+// Detach may only be called while the executor is paused; Send is called
+// from simulation events (or from the host between runs).
 type Medium struct {
-	sim    *sim.Sim
+	ex     sim.Executor
 	topo   topology.Topology
 	params Params
-	nodes  map[topology.Location]Receiver
-	links  map[link]*geState
-	stats  Stats
+	random bool
+	att    map[topology.Location]*attachment
+	sh     []mediumShard
 
 	// Trace, when non-nil, observes every send attempt outcome. Used by
 	// the experiment harness to measure delivery without instrumenting
-	// the middleware.
+	// the middleware. Under a parallel executor it is invoked
+	// concurrently from worker goroutines.
 	Trace func(f Frame, to topology.Location, delivered bool)
 
 	// Drop, when non-nil, is consulted before the probabilistic loss
@@ -163,58 +211,113 @@ type Medium struct {
 	Drop func(f Frame, to topology.Location) bool
 }
 
-// NewMedium creates a medium over the given topology.
-func NewMedium(s *sim.Sim, topo topology.Topology, params Params) *Medium {
-	return &Medium{
-		sim:    s,
+// NewMedium creates a medium over the given topology, driven by ex.
+func NewMedium(ex sim.Executor, topo topology.Topology, params Params) *Medium {
+	m := &Medium{
+		ex:     ex,
 		topo:   topo,
 		params: params,
-		nodes:  make(map[topology.Location]Receiver),
-		links:  make(map[link]*geState),
+		random: params.randomized(),
+		att:    make(map[topology.Location]*attachment),
+		sh:     make([]mediumShard, ex.Shards()),
 	}
+	for i := range m.sh {
+		m.sh[i].links = make(map[link]*linkState)
+		m.sh[i].nbrs = make(map[topology.Location][]topology.Location)
+	}
+	return m
 }
 
 // Params returns the medium's configured parameters.
 func (m *Medium) Params() Params { return m.params }
 
-// Stats returns a snapshot of the medium counters.
-func (m *Medium) Stats() Stats { return m.stats }
+// Stats returns a snapshot of the medium counters, summed across shards.
+func (m *Medium) Stats() Stats {
+	var t Stats
+	for i := range m.sh {
+		s := &m.sh[i].stats
+		t.Sent += s.Sent
+		t.Delivered += s.Delivered
+		t.Dropped += s.Dropped
+		t.NoRoute += s.NoRoute
+		t.Bytes += s.Bytes
+		t.Links += uint64(len(m.sh[i].links))
+	}
+	return t
+}
 
 // Attach registers a receiver at the given location. Attaching twice at the
 // same location is a configuration bug and returns an error.
 func (m *Medium) Attach(loc topology.Location, r Receiver) error {
-	if _, dup := m.nodes[loc]; dup {
-		return fmt.Errorf("radio: node already attached at %v", loc)
+	if a, ok := m.att[loc]; ok {
+		if a.r != nil {
+			return fmt.Errorf("radio: node already attached at %v", loc)
+		}
+		a.r = r // reattach at a previously vacated location
+		return nil
 	}
-	m.nodes[loc] = r
+	m.att[loc] = &attachment{r: r, ctx: m.ex.Context(sim.Key2D(loc.X, loc.Y))}
+	// A brand-new location invalidates every cached fan-out list that
+	// should now include it. Cheap at build time, where the caches are
+	// still empty.
+	for i := range m.sh {
+		clear(m.sh[i].nbrs)
+	}
 	return nil
 }
 
-// Detach removes the receiver at loc (a dead mote).
+// Detach removes the receiver at loc (a dead mote). Cached fan-out lists
+// stay valid: delivery skips vacated locations.
 func (m *Medium) Detach(loc topology.Location) {
-	delete(m.nodes, loc)
+	if a, ok := m.att[loc]; ok {
+		a.r = nil
+	}
 }
 
 // Locations returns all attached node locations (iteration order is not
 // deterministic; callers must sort if order matters).
 func (m *Medium) Locations() []topology.Location {
-	out := make([]topology.Location, 0, len(m.nodes))
-	for l := range m.nodes {
-		out = append(out, l)
+	out := make([]topology.Location, 0, len(m.att))
+	for l, a := range m.att {
+		if a.r != nil {
+			out = append(out, l)
+		}
 	}
 	return out
 }
 
-// sortedLocations returns attached locations ordered by (Y,X).
-func (m *Medium) sortedLocations() []topology.Location {
-	out := m.Locations()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Y != out[j].Y {
-			return out[i].Y < out[j].Y
+// ctxOf returns the scheduling context keyed to loc, registering one on
+// the fly for senders that were never attached (test harness frames).
+func (m *Medium) ctxOf(loc topology.Location) *sim.Ctx {
+	if a, ok := m.att[loc]; ok {
+		return a.ctx
+	}
+	return m.ex.Context(sim.Key2D(loc.X, loc.Y))
+}
+
+// neighbors returns the broadcast fan-out list for src: every ever-attached
+// location connected to it, in (Y,X) order. The list is computed once per
+// source on the source's shard and reused for every subsequent broadcast
+// — re-sorting the whole attachment table per beacon was the medium's
+// hottest path.
+func (m *Medium) neighbors(src topology.Location, sh *mediumShard) []topology.Location {
+	if nb, ok := sh.nbrs[src]; ok {
+		return nb
+	}
+	nb := make([]topology.Location, 0, 8)
+	for loc := range m.att {
+		if loc != src && m.topo.Connected(src, loc) {
+			nb = append(nb, loc)
 		}
-		return out[i].X < out[j].X
+	}
+	sort.Slice(nb, func(i, j int) bool {
+		if nb[i].Y != nb[j].Y {
+			return nb[i].Y < nb[j].Y
+		}
+		return nb[i].X < nb[j].X
 	})
-	return out
+	sh.nbrs[src] = nb
+	return nb
 }
 
 // Send transmits a frame. Unicast frames are delivered to the destination
@@ -222,78 +325,107 @@ func (m *Medium) sortedLocations() []topology.Location {
 // offered to every connected node. Loss is sampled per receiving link.
 // Delivery happens after the modelled frame delay.
 func (m *Medium) Send(f Frame) {
-	m.stats.Sent++
-	m.stats.Bytes += uint64(len(f.Payload))
+	src := m.ctxOf(f.Src)
+	sh := &m.sh[src.Shard()]
+	sh.stats.Sent++
+	sh.stats.Bytes += uint64(len(f.Payload))
 	if f.IsBroadcast() {
+		if len(f.Payload) > 0 {
+			// One defensive copy per broadcast, shared read-only by every
+			// receiver; per-receiver copies made beacons O(n²) in payload
+			// traffic.
+			f.Payload = append([]byte(nil), f.Payload...)
+		}
 		// Deliver in sorted location order: map iteration order would
 		// leak nondeterminism into the loss sampling and event sequence.
-		for _, loc := range m.sortedLocations() {
-			if loc == f.Src || !m.topo.Connected(f.Src, loc) {
+		for _, loc := range m.neighbors(f.Src, sh) {
+			a := m.att[loc]
+			if a == nil || a.r == nil {
 				continue
 			}
-			m.deliver(f, loc, m.nodes[loc])
+			m.deliver(f, loc, a, src, sh, true)
 		}
 		return
 	}
-	node, ok := m.nodes[f.Dst]
-	if !ok || !m.topo.Connected(f.Src, f.Dst) {
-		m.stats.NoRoute++
+	a, ok := m.att[f.Dst]
+	if !ok || a.r == nil || !m.topo.Connected(f.Src, f.Dst) {
+		sh.stats.NoRoute++
 		if m.Trace != nil {
 			m.Trace(f, f.Dst, false)
 		}
 		return
 	}
-	m.deliver(f, f.Dst, node)
+	m.deliver(f, f.Dst, a, src, sh, false)
 }
 
-func (m *Medium) deliver(f Frame, to topology.Location, node Receiver) {
+// deliver offers one frame to one receiver. copied says whether the
+// payload was already snapshotted (broadcast copies once up front so all
+// receivers share it); unicast frames snapshot only on actual delivery,
+// so dropped frames cost no allocation.
+func (m *Medium) deliver(f Frame, to topology.Location, a *attachment, src *sim.Ctx, sh *mediumShard, copied bool) {
 	if m.Drop != nil && m.Drop(f, to) {
 		if m.Trace != nil {
 			m.Trace(f, to, false)
 		}
-		m.stats.Dropped++
-		return
-	}
-	lost := m.sampleLoss(link{from: f.Src, to: to})
-	if m.Trace != nil {
-		m.Trace(f, to, !lost)
-	}
-	if lost {
-		m.stats.Dropped++
+		sh.stats.Dropped++
 		return
 	}
 	delay := m.params.FrameDelay(len(f.Payload))
-	if m.params.ProcJitter > 0 {
-		delay += time.Duration(m.sim.Rand().Int63n(int64(m.params.ProcJitter)))
+	if m.random {
+		st := sh.linkState(m, f.Src, to)
+		if m.sampleLoss(st) {
+			if m.Trace != nil {
+				m.Trace(f, to, false)
+			}
+			sh.stats.Dropped++
+			return
+		}
+		if m.params.ProcJitter > 0 {
+			delay += time.Duration(st.rng.Int63n(int64(m.params.ProcJitter)))
+		}
 	}
-	m.stats.Delivered++
-	fc := f
-	fc.Payload = append([]byte(nil), f.Payload...) // defensive copy across the air
-	m.sim.Schedule(delay, func() { node.ReceiveFrame(fc) })
+	if m.Trace != nil {
+		m.Trace(f, to, true)
+	}
+	sh.stats.Delivered++
+	if !copied && len(f.Payload) > 0 {
+		f.Payload = append([]byte(nil), f.Payload...) // defensive copy across the air
+	}
+	node := a.r
+	src.Send(a.ctx, delay, func() { node.ReceiveFrame(f) })
+}
+
+// linkState returns the channel state for one directed link, allocating it
+// lazily in the sending shard's arena on first use. The link's random
+// stream derives from the root seed and the endpoint coordinates alone.
+func (sh *mediumShard) linkState(m *Medium, from, to topology.Location) *linkState {
+	l := link{from: from, to: to}
+	st, ok := sh.links[l]
+	if !ok {
+		st = &linkState{rng: sim.Stream(m.ex.Seed(), saltLink,
+			uint64(sim.Key2D(from.X, from.Y)), uint64(sim.Key2D(to.X, to.Y)))}
+		sh.links[l] = st
+	}
+	return st
 }
 
 // sampleLoss runs one step of the link's Gilbert–Elliott chain and reports
 // whether the frame is lost.
-func (m *Medium) sampleLoss(l link) bool {
-	st, ok := m.links[l]
-	if !ok {
-		st = &geState{}
-		m.links[l] = st
-	}
+func (m *Medium) sampleLoss(st *linkState) bool {
 	var pLoss float64
 	if st.bad {
 		pLoss = m.params.LossBad
 	} else {
 		pLoss = m.params.LossGood
 	}
-	lost := pLoss > 0 && m.sim.Rand().Float64() < pLoss
+	lost := pLoss > 0 && st.rng.Float64() < pLoss
 	// State transition after the frame.
 	if st.bad {
-		if m.params.PBadGood > 0 && m.sim.Rand().Float64() < m.params.PBadGood {
+		if m.params.PBadGood > 0 && st.rng.Float64() < m.params.PBadGood {
 			st.bad = false
 		}
 	} else {
-		if m.params.PGoodBad > 0 && m.sim.Rand().Float64() < m.params.PGoodBad {
+		if m.params.PGoodBad > 0 && st.rng.Float64() < m.params.PGoodBad {
 			st.bad = true
 		}
 	}

@@ -238,3 +238,109 @@ func TestStatsCounting(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 }
+
+func TestBroadcastNeighborCacheFollowsAttachDetach(t *testing.T) {
+	s, m, nodes := newTestMedium(t, ZeroLoss())
+	send := func() int {
+		for _, n := range nodes {
+			n.got = nil
+		}
+		m.Send(Frame{Src: topology.Loc(2, 2), Dst: Broadcast, Kind: KindBeacon})
+		if err := s.RunUntilIdle(0); err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, n := range nodes {
+			total += len(n.got)
+		}
+		return total
+	}
+	if got := send(); got != 4 {
+		t.Fatalf("initial broadcast reached %d nodes, want 4", got)
+	}
+	// A detached neighbor must drop out of the cached fan-out.
+	m.Detach(topology.Loc(2, 1))
+	if got := send(); got != 3 {
+		t.Fatalf("broadcast after detach reached %d nodes, want 3", got)
+	}
+	// Reattaching at the same location must bring it back.
+	if err := m.Attach(topology.Loc(2, 1), nodes[topology.Loc(2, 1)]); err != nil {
+		t.Fatalf("reattach: %v", err)
+	}
+	if got := send(); got != 4 {
+		t.Fatalf("broadcast after reattach reached %d nodes, want 4", got)
+	}
+	// A location never seen before must invalidate warm caches: attach a
+	// brand-new node at (1,4) and check it shows up in (1,3)'s fan-out
+	// even though (1,3) broadcast (and so cached its list) beforehand.
+	m.Send(Frame{Src: topology.Loc(1, 3), Dst: Broadcast, Kind: KindBeacon}) // warm (1,3)'s cache
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	fresh := &captureNode{}
+	if err := m.Attach(topology.Loc(1, 4), fresh); err != nil {
+		t.Fatalf("attach new location: %v", err)
+	}
+	m.Send(Frame{Src: topology.Loc(1, 3), Dst: Broadcast, Kind: KindBeacon})
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.got) != 1 {
+		t.Fatalf("newly attached node heard %d broadcasts, want 1 (stale fan-out cache?)", len(fresh.got))
+	}
+}
+
+func TestBroadcastSharesOnePayloadCopy(t *testing.T) {
+	s, m, nodes := newTestMedium(t, ZeroLoss())
+	buf := []byte{1, 2, 3, 4}
+	m.Send(Frame{Src: topology.Loc(2, 2), Dst: Broadcast, Kind: KindBeacon, Payload: buf})
+	// Mutating the sender's buffer after Send must not corrupt deliveries:
+	// the medium snapshots the payload once per send.
+	buf[0] = 99
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	var frames []Frame
+	for _, n := range nodes {
+		frames = append(frames, n.got...)
+	}
+	if len(frames) != 4 {
+		t.Fatalf("broadcast reached %d receivers, want 4", len(frames))
+	}
+	for _, f := range frames {
+		if f.Payload[0] != 1 {
+			t.Fatal("sender mutation leaked into a delivered frame")
+		}
+	}
+	// All receivers share the same backing array (one copy per send).
+	for _, f := range frames[1:] {
+		if &f.Payload[0] != &frames[0].Payload[0] {
+			t.Fatal("receivers got distinct payload copies; want one shared copy per send")
+		}
+	}
+}
+
+func TestLinkStateLazyAllocationAndStats(t *testing.T) {
+	// A zero-loss, zero-jitter medium must allocate no link state at all.
+	s, m, _ := newTestMedium(t, ZeroLoss())
+	m.Send(Frame{Src: topology.Loc(1, 1), Dst: topology.Loc(2, 1), Kind: KindBeacon})
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Links; got != 0 {
+		t.Fatalf("zero-loss medium allocated %d link states, want 0", got)
+	}
+
+	// A lossy medium allocates one state per directed link actually used,
+	// and only for those.
+	s2, m2, _ := newTestMedium(t, Lossy())
+	m2.Send(Frame{Src: topology.Loc(1, 1), Dst: topology.Loc(2, 1), Kind: KindBeacon})
+	m2.Send(Frame{Src: topology.Loc(1, 1), Dst: topology.Loc(2, 1), Kind: KindBeacon})
+	m2.Send(Frame{Src: topology.Loc(2, 1), Dst: topology.Loc(1, 1), Kind: KindBeacon})
+	if err := s2.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Stats().Links; got != 2 {
+		t.Fatalf("lossy medium tracks %d links, want 2 (one per used directed link)", got)
+	}
+}

@@ -1,0 +1,325 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Parallel is the sharded discrete-event executor. Contexts are
+// partitioned into shards that run on worker goroutines inside
+// barrier-synchronized time windows no wider than the lookahead window —
+// the minimum delay of any cross-shard interaction (for a radio medium,
+// the minimum frame delay). Within a window shards cannot influence each
+// other, so they execute concurrently; cross-shard events travel through
+// per-shard mailboxes merged at the barriers.
+//
+// Because events are ordered by (time, context key, context sequence) —
+// keys and sequences that depend only on each entity's own deterministic
+// history — every context observes exactly the schedule the sequential
+// executor would produce for the same seed. The one visible difference is
+// granularity: RunUntil evaluates its predicate at window barriers rather
+// than after every event, so predicate-bounded runs may execute up to one
+// window past the instant the predicate first became true. Time-bounded
+// runs (Run, RunUntilIdle) are exact.
+//
+// Construct with NewParallel. The host may only touch simulation state
+// between Run calls; hooks that fire during events (traces, medium taps)
+// are invoked concurrently from worker goroutines and must synchronize
+// any shared state they touch.
+type Parallel struct {
+	tab     ctxTable
+	window  time.Duration
+	shards  []*shard
+	shardOf func(ContextKey) int
+
+	now     time.Duration
+	stopped atomic.Bool
+}
+
+// NewParallel returns a sharded executor with the given number of shards.
+// window is the conservative lookahead: no cross-shard Send may have a
+// delay below it, and it must be positive. shardOf assigns contexts to
+// shards (values are clamped); nil assigns everything to shard 0.
+func NewParallel(seed int64, shards int, window time.Duration, shardOf func(ContextKey) int) *Parallel {
+	if shards < 1 {
+		shards = 1
+	}
+	if window <= 0 {
+		panic("sim: parallel executor needs a positive lookahead window")
+	}
+	p := &Parallel{
+		tab:     newCtxTable(seed),
+		window:  window,
+		shards:  make([]*shard, shards),
+		shardOf: shardOf,
+	}
+	for i := range p.shards {
+		p.shards[i] = &shard{idx: i, win: window}
+	}
+	return p
+}
+
+// Seed returns the root seed.
+func (p *Parallel) Seed() int64 { return p.tab.seed }
+
+// Shards returns the number of execution shards.
+func (p *Parallel) Shards() int { return len(p.shards) }
+
+// Window returns the conservative lookahead window.
+func (p *Parallel) Window() time.Duration { return p.window }
+
+// Now returns the current virtual time (the last barrier position).
+func (p *Parallel) Now() time.Duration { return p.now }
+
+// Context returns (creating on first use) the scheduling context for key.
+func (p *Parallel) Context(key ContextKey) *Ctx {
+	return p.tab.context(key, func(k ContextKey) *shard {
+		si := 0
+		if p.shardOf != nil {
+			si = p.shardOf(k)
+			if si < 0 {
+				si = 0
+			}
+			if si >= len(p.shards) {
+				si = si % len(p.shards)
+			}
+		}
+		return p.shards[si]
+	})
+}
+
+// Stop makes the current Run call return ErrStopped at the next barrier.
+func (p *Parallel) Stop() { p.stopped.Store(true) }
+
+// Executed returns the number of events fired so far. Call it from the
+// host between runs (worker counters are merged at barriers).
+func (p *Parallel) Executed() uint64 {
+	var n uint64
+	for _, sh := range p.shards {
+		n += sh.executed
+	}
+	return n
+}
+
+// Pending returns the number of live queued events across all shards and
+// mailboxes.
+func (p *Parallel) Pending() int {
+	n := 0
+	for _, sh := range p.shards {
+		n += sh.pending()
+	}
+	return n
+}
+
+// earliest merges all mailboxes and returns the earliest pending event
+// time, or false when everything is idle.
+func (p *Parallel) earliest() (time.Duration, bool) {
+	var t0 time.Duration
+	found := false
+	for _, sh := range p.shards {
+		sh.drain()
+		if e := sh.peek(); e != nil && (!found || e.at < t0) {
+			t0, found = e.at, true
+		}
+	}
+	return t0, found
+}
+
+// windowChunk bounds how many events one shard executes between barriers.
+// Real windows hold a few hundred events, so the cap costs nothing in the
+// steady state; it exists so a runaway zero-delay schedule still returns
+// control to the barrier, where Stop and event budgets are checked.
+const windowChunk = 4096
+
+// runWindow executes one barrier-to-barrier chunk of a window: every
+// shard runs up to windowChunk of its events scheduled before end (at
+// exactly end too when closed) on its own goroutine. Shards with nothing
+// due are skipped entirely. It reports whether every shard finished the
+// window; a false return means the same window must be driven again.
+func (p *Parallel) runWindow(end time.Duration, closed bool) bool {
+	var wg sync.WaitGroup
+	var unfinished atomic.Bool
+	for _, sh := range p.shards {
+		sh.drain()
+		if !sh.due(end, closed) {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			if !sh.runTo(end, closed, windowChunk) {
+				unfinished.Store(true)
+			}
+		}(sh)
+	}
+	wg.Wait()
+	return !unfinished.Load()
+}
+
+// finishWindow drives one window to completion, re-entering after each
+// budget-capped chunk so Stop stays responsive even against zero-delay
+// self-perpetuating schedules. It returns ErrStopped when stopped.
+func (p *Parallel) finishWindow(end time.Duration, closed bool) error {
+	for {
+		if p.runWindow(end, closed) {
+			return nil
+		}
+		if p.stopped.Load() {
+			return ErrStopped
+		}
+	}
+}
+
+// settle ends a run: the global clock lands on t and every shard clock
+// agrees with it, exactly as the sequential executor leaves its single
+// clock. t may sit below the internal window cursor — the cursor is an
+// implementation artifact, not observed time.
+func (p *Parallel) settle(t time.Duration) {
+	p.now = t
+	for _, sh := range p.shards {
+		sh.now = p.now
+	}
+}
+
+// rest returns the clock position for a run that drained the queue or was
+// stopped: the last executed event, like the sequential executor — but
+// never before the clock position the run began at.
+func (p *Parallel) rest(begin time.Duration) time.Duration {
+	t := begin
+	for _, sh := range p.shards {
+		if sh.lastAt > t {
+			t = sh.lastAt
+		}
+	}
+	return t
+}
+
+// Run executes events until the queue is empty or the virtual clock would
+// pass the until mark. Events at exactly until still run. It returns
+// ErrStopped if Stop was called.
+func (p *Parallel) Run(until time.Duration) error {
+	_, err := p.runLoop(until, nil)
+	return err
+}
+
+// runLoop is the window loop shared by Run and RunUntil: march
+// lookahead-width windows up to until, then run one closed pass for
+// events at exactly until (cross-shard arrivals at until were merged by
+// the barrier in between). When pred is non-nil it is evaluated at every
+// window barrier and ends the run once true.
+func (p *Parallel) runLoop(until time.Duration, pred func() bool) (bool, error) {
+	p.stopped.Store(false)
+	begin := p.now
+	for {
+		if p.stopped.Load() {
+			p.settle(p.rest(begin))
+			return false, ErrStopped
+		}
+		t0, ok := p.earliest()
+		if !ok {
+			p.settle(p.rest(begin))
+			return false, nil
+		}
+		if t0 > until {
+			p.settle(until)
+			return false, nil
+		}
+		// Anchor the window at the earliest pending event, NOT at the
+		// cursor: after a dirty stop (Stop or a budget error escaping
+		// mid-window) stale events below the cursor may remain, and a
+		// window anchored above them would execute them without lookahead
+		// protection. Anchored at t0, every send from this window arrives
+		// at or beyond t0+window — sound even for stale events, and the
+		// replay (clock regressing to the stale event) matches what the
+		// sequential executor does on resume. On clean paths t0 never
+		// trails the cursor, so this is the ordinary window start.
+		start := t0
+		if end := start + p.window; end < until {
+			if err := p.finishWindow(end, false); err != nil {
+				p.settle(p.rest(begin))
+				return false, err
+			}
+			p.now = end
+			if pred != nil && pred() {
+				p.settle(end)
+				return true, nil
+			}
+			continue
+		}
+		// Final stretch.
+		if err := p.finishWindow(until, false); err != nil {
+			p.settle(p.rest(begin))
+			return false, err
+		}
+		if err := p.finishWindow(until, true); err != nil {
+			p.settle(p.rest(begin))
+			return false, err
+		}
+		if p.stopped.Load() {
+			p.settle(p.rest(begin))
+			return false, ErrStopped
+		}
+		if p.Pending() == 0 {
+			// The queue drained inside the final stretch: rest at the last
+			// executed event, as the sequential executor does.
+			p.settle(p.rest(begin))
+		} else {
+			p.settle(until)
+		}
+		return pred != nil && pred(), nil
+	}
+}
+
+// RunUntilIdle executes events until none remain. maxEvents guards against
+// runaway schedules; 0 means no limit. The budget is checked at window
+// barriers, so a runaway run may overshoot it by up to one window.
+func (p *Parallel) RunUntilIdle(maxEvents uint64) error {
+	p.stopped.Store(false)
+	begin := p.now
+	start := p.Executed()
+	for {
+		if p.stopped.Load() {
+			p.settle(p.rest(begin))
+			return ErrStopped
+		}
+		t0, ok := p.earliest()
+		if !ok {
+			p.settle(p.rest(begin))
+			return nil
+		}
+		// Anchored at the earliest pending event for the same dirty-stop
+		// soundness reason as runLoop.
+		end := t0 + p.window
+		for {
+			done := p.runWindow(end, false)
+			if maxEvents > 0 && p.Executed()-start >= maxEvents {
+				p.settle(p.rest(begin))
+				return fmt.Errorf("sim: exceeded %d events without going idle", maxEvents)
+			}
+			if p.stopped.Load() {
+				p.settle(p.rest(begin))
+				return ErrStopped
+			}
+			if done {
+				break
+			}
+		}
+		p.now = end
+	}
+}
+
+// RunUntil executes events until pred returns true, the queue empties, or
+// the clock passes limit, reporting whether pred became true. Unlike the
+// sequential executor, pred is evaluated at window barriers (from the
+// calling goroutine), so the run may execute up to one lookahead window of
+// events past the instant pred first became true.
+func (p *Parallel) RunUntil(pred func() bool, limit time.Duration) (bool, error) {
+	if pred() {
+		return true, nil
+	}
+	return p.runLoop(limit, pred)
+}
+
+var _ Executor = (*Parallel)(nil)

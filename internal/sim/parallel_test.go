@@ -1,0 +1,413 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// harness builds a synthetic multi-entity workload on any executor: nEnt
+// entities, each rescheduling itself with pseudo-random (deterministic)
+// delays, drawing from its stream, and occasionally "transmitting" to a
+// neighbor entity with a delay of at least window. Every execution is
+// recorded as (time, entity, step) — the cross-executor comparison trace.
+type harness struct {
+	mu    sync.Mutex
+	trace []string
+}
+
+const testWindow = 10 * time.Millisecond
+
+func (h *harness) record(at time.Duration, key ContextKey, step int) {
+	h.mu.Lock()
+	h.trace = append(h.trace, fmt.Sprintf("%d/%d/%d", at, key, step))
+	h.mu.Unlock()
+}
+
+func (h *harness) run(t *testing.T, ex Executor, nEnt int, until time.Duration) []string {
+	t.Helper()
+	ctxs := make([]*Ctx, nEnt)
+	for i := range ctxs {
+		ctxs[i] = ex.Context(Key2D(int16(i+1), 1))
+	}
+	var tick func(i, step int) func()
+	tick = func(i, step int) func() {
+		return func() {
+			c := ctxs[i]
+			h.record(c.Now(), c.Key(), step)
+			// Entity-local pseudo-random behavior from its own stream.
+			d := time.Duration(1+c.Rand().Intn(8)) * time.Millisecond
+			c.Schedule(d, tick(i, step+1))
+			if c.Rand().Intn(3) == 0 {
+				// Cross-entity transmission with >= window latency.
+				j := c.Rand().Intn(nEnt)
+				lat := testWindow + time.Duration(c.Rand().Intn(5))*time.Millisecond
+				c.Send(ctxs[j], lat, func() {
+					h.record(ctxs[j].Now(), ctxs[j].Key(), -step)
+				})
+			}
+		}
+	}
+	for i := range ctxs {
+		ctxs[i].Schedule(time.Duration(i)*time.Millisecond, tick(i, 1))
+	}
+	if err := ex.Run(until); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return h.trace
+}
+
+// perEntity groups a trace by entity, preserving order, so schedules can
+// be compared without imposing a global order on concurrent shards.
+func perEntity(trace []string) map[string][]string {
+	out := make(map[string][]string)
+	for _, line := range trace {
+		var at, key int64
+		var step int
+		fmt.Sscanf(line, "%d/%d/%d", &at, &key, &step)
+		k := fmt.Sprint(key)
+		out[k] = append(out[k], line)
+	}
+	return out
+}
+
+func TestParallelMatchesSequentialSchedule(t *testing.T) {
+	const nEnt = 12
+	const until = 2 * time.Second
+	seqTrace := (&harness{}).run(t, New(7), nEnt, until)
+	if len(seqTrace) == 0 {
+		t.Fatal("sequential harness executed nothing")
+	}
+	for _, shards := range []int{2, 3, 4, 8} {
+		par := NewParallel(7, shards, testWindow, func(k ContextKey) int {
+			return int(uint64(k) % uint64(shards))
+		})
+		parTrace := (&harness{}).run(t, par, nEnt, until)
+		want, got := perEntity(seqTrace), perEntity(parTrace)
+		if len(want) != len(got) {
+			t.Fatalf("shards=%d: %d entities traced, want %d", shards, len(got), len(want))
+		}
+		for k, w := range want {
+			g := got[k]
+			if len(g) != len(w) {
+				t.Fatalf("shards=%d entity %s: %d events, want %d", shards, k, len(g), len(w))
+			}
+			for i := range w {
+				if g[i] != w[i] {
+					t.Fatalf("shards=%d entity %s event %d: got %s want %s", shards, k, i, g[i], w[i])
+				}
+			}
+		}
+		if par.Executed() != New(7).Executed()+uint64(len(seqTrace)) && par.Executed() == 0 {
+			t.Fatalf("shards=%d executed nothing", shards)
+		}
+		if par.Now() != until {
+			t.Fatalf("shards=%d: Now()=%v want %v", shards, par.Now(), until)
+		}
+	}
+}
+
+func TestParallelRunBoundaryEvents(t *testing.T) {
+	// Events at exactly the until mark must run; later ones must not, and
+	// the clock must land exactly on until — same as sequential.
+	for _, mk := range []func() Executor{
+		func() Executor { return New(1) },
+		func() Executor {
+			return NewParallel(1, 2, testWindow, func(k ContextKey) int { return int(uint64(k) % 2) })
+		},
+	} {
+		ex := mk()
+		a := ex.Context(Key2D(1, 1))
+		var fired []string
+		a.Schedule(50*time.Millisecond, func() { fired = append(fired, "at-until") })
+		a.Schedule(50*time.Millisecond+1, func() { fired = append(fired, "past-until") })
+		if err := ex.Run(50 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if len(fired) != 1 || fired[0] != "at-until" {
+			t.Fatalf("fired = %v", fired)
+		}
+		if ex.Now() != 50*time.Millisecond {
+			t.Fatalf("Now() = %v", ex.Now())
+		}
+	}
+}
+
+func TestParallelCrossShardArrivalAtUntil(t *testing.T) {
+	// A cross-shard send landing exactly on the until mark must be
+	// delivered before Run returns.
+	p := NewParallel(3, 2, testWindow, func(k ContextKey) int { return int(uint64(k) % 2) })
+	a, b := p.Context(Key2D(1, 1)), p.Context(Key2D(1, 2))
+	if a.Shard() == b.Shard() {
+		t.Fatal("test needs two shards")
+	}
+	delivered := false
+	a.Schedule(0, func() {
+		a.Send(b, 40*time.Millisecond, func() { delivered = true })
+	})
+	if err := p.Run(40 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !delivered {
+		t.Fatal("arrival at the until mark was not delivered")
+	}
+}
+
+func TestParallelRunUntilIdleAndClockRest(t *testing.T) {
+	// When the queue drains, both executors leave the clock at the last
+	// executed event.
+	for _, mk := range []func() Executor{
+		func() Executor { return New(1) },
+		func() Executor {
+			return NewParallel(1, 2, testWindow, func(k ContextKey) int { return int(uint64(k) % 2) })
+		},
+	} {
+		ex := mk()
+		c := ex.Context(Key2D(1, 1))
+		c.Schedule(30*time.Millisecond, func() {})
+		c.Schedule(70*time.Millisecond, func() {})
+		if err := ex.RunUntilIdle(0); err != nil {
+			t.Fatal(err)
+		}
+		if ex.Now() != 70*time.Millisecond {
+			t.Fatalf("Now() after idle = %v, want 70ms", ex.Now())
+		}
+		if ex.Pending() != 0 {
+			t.Fatalf("pending = %d", ex.Pending())
+		}
+	}
+}
+
+func TestParallelRunUntilIdleBudget(t *testing.T) {
+	p := NewParallel(1, 2, testWindow, nil)
+	c := p.Context(Key2D(1, 1))
+	var loop func()
+	loop = func() { c.Schedule(time.Millisecond, loop) }
+	c.Schedule(0, loop)
+	if err := p.RunUntilIdle(100); err == nil {
+		t.Fatal("runaway schedule not caught")
+	}
+}
+
+func TestParallelRunUntilPredicateAtBarrier(t *testing.T) {
+	p := NewParallel(5, 2, testWindow, func(k ContextKey) int { return int(uint64(k) % 2) })
+	c := p.Context(Key2D(1, 1))
+	hit := false
+	c.Schedule(25*time.Millisecond, func() { hit = true })
+	ok, err := p.RunUntil(func() bool { return hit }, time.Second)
+	if err != nil || !ok {
+		t.Fatalf("RunUntil = %v, %v", ok, err)
+	}
+	// The run may have advanced past the event, but never beyond one
+	// window past it.
+	if p.Now() < 25*time.Millisecond || p.Now() > 25*time.Millisecond+2*testWindow {
+		t.Fatalf("Now() = %v", p.Now())
+	}
+}
+
+func TestParallelStop(t *testing.T) {
+	p := NewParallel(5, 2, testWindow, nil)
+	c := p.Context(Key2D(1, 1))
+	var loop func()
+	loop = func() {
+		if c.Now() >= 100*time.Millisecond {
+			p.Stop()
+			return
+		}
+		c.Schedule(time.Millisecond, loop)
+	}
+	c.Schedule(0, loop)
+	if err := p.Run(time.Hour); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+}
+
+func TestParallelCrossShardBelowWindowPanics(t *testing.T) {
+	p := NewParallel(5, 2, testWindow, func(k ContextKey) int { return int(uint64(k) % 2) })
+	a, b := p.Context(Key2D(1, 1)), p.Context(Key2D(1, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-shard send below the window must panic")
+		}
+	}()
+	a.Send(b, time.Millisecond, func() {})
+}
+
+// TestParallelBarrierStress hammers the window barrier with dense
+// cross-shard traffic; run with -race it doubles as the data-race proof
+// for the mailbox handoff.
+func TestParallelBarrierStress(t *testing.T) {
+	const nEnt = 32
+	const shards = 8
+	p := NewParallel(11, shards, testWindow, func(k ContextKey) int {
+		return int(uint64(k) % shards)
+	})
+	ctxs := make([]*Ctx, nEnt)
+	for i := range ctxs {
+		ctxs[i] = p.Context(Key2D(int16(i+1), 2))
+	}
+	var counts [nEnt]int // per-entity, touched only by that entity's shard events
+	var tick func(i int) func()
+	tick = func(i int) func() {
+		return func() {
+			counts[i]++
+			c := ctxs[i]
+			c.Schedule(time.Duration(1+c.Rand().Intn(3))*time.Millisecond, tick(i))
+			// Blast every other entity once in a while.
+			if c.Rand().Intn(4) == 0 {
+				for j := range ctxs {
+					if j == i {
+						continue
+					}
+					jj := j
+					c.Send(ctxs[jj], testWindow, func() { counts[jj]++ })
+				}
+			}
+		}
+	}
+	for i := range ctxs {
+		ctxs[i].Schedule(0, tick(i))
+	}
+	if err := p.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || uint64(total) != p.Executed() {
+		t.Fatalf("executed %d events, counted %d", p.Executed(), total)
+	}
+}
+
+func TestParallelRunDrainedQueueRestsAtLastEvent(t *testing.T) {
+	// When the queue drains inside the final window, both executors must
+	// leave the clock at the last executed event, not at the until mark.
+	for _, mk := range []func() Executor{
+		func() Executor { return New(1) },
+		func() Executor {
+			return NewParallel(1, 2, testWindow, func(k ContextKey) int { return int(uint64(k) % 2) })
+		},
+	} {
+		ex := mk()
+		c := ex.Context(Key2D(1, 1))
+		c.Schedule(95*time.Millisecond, func() {})
+		if err := ex.Run(100 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if ex.Now() != 95*time.Millisecond {
+			t.Fatalf("Now() after drained Run = %v, want 95ms", ex.Now())
+		}
+		// A later Run against an empty queue must keep the clock in place.
+		if err := ex.Run(200 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if ex.Now() != 95*time.Millisecond {
+			t.Fatalf("Now() after idle Run = %v, want 95ms", ex.Now())
+		}
+	}
+}
+
+func TestParallelRunawayZeroDelaySchedule(t *testing.T) {
+	// A zero-delay self-perpetuating event must trip the RunUntilIdle
+	// budget instead of spinning forever inside one window, exactly as
+	// the sequential executor does.
+	for _, mk := range []func() Executor{
+		func() Executor { return New(1) },
+		func() Executor {
+			return NewParallel(1, 2, testWindow, func(k ContextKey) int { return int(uint64(k) % 2) })
+		},
+	} {
+		ex := mk()
+		c := ex.Context(Key2D(1, 1))
+		var loop func()
+		loop = func() { c.Post(loop) }
+		c.Post(loop)
+		if err := ex.RunUntilIdle(10_000); err == nil || err == ErrStopped {
+			t.Fatalf("runaway zero-delay schedule returned %v, want budget error", err)
+		}
+	}
+}
+
+func TestParallelStopEscapesRunawayWindow(t *testing.T) {
+	// Stop called from inside a zero-delay loop must end Run even though
+	// the window itself can never complete.
+	p := NewParallel(1, 2, testWindow, nil)
+	c := p.Context(Key2D(1, 1))
+	n := 0
+	var loop func()
+	loop = func() {
+		n++
+		if n == 50_000 {
+			p.Stop()
+		}
+		c.Post(loop)
+	}
+	c.Post(loop)
+	if err := p.Run(time.Second); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+}
+
+func TestParallelResumeAfterDirtyStopMatchesSequential(t *testing.T) {
+	// Stop escaping mid-window (via a budget-capped chunk) leaves stale
+	// events below the resting clock. Resuming must replay them exactly
+	// like the sequential executor: the first window re-anchors at the
+	// earliest pending event, preserving lookahead soundness.
+	build := func(ex Executor) (*harness, func() []string) {
+		h := &harness{}
+		a := ex.Context(Key2D(1, 1))
+		b := ex.Context(Key2D(1, 2))
+		n := 0
+		var spin func()
+		spin = func() {
+			n++
+			h.record(a.Now(), a.Key(), n)
+			if n == 6000 { // past one windowChunk, mid-window
+				ex.Stop()
+				return
+			}
+			if n < 9000 {
+				a.Post(spin)
+			}
+		}
+		a.Schedule(0, spin)
+		// b's event sits later in the same window, with a cross-shard send
+		// whose arrival order against a's post-resume events is the
+		// determinism probe.
+		b.Schedule(5*time.Millisecond, func() {
+			h.record(b.Now(), b.Key(), -1)
+			b.Send(a, testWindow, func() { h.record(a.Now(), a.Key(), -2) })
+		})
+		return h, func() []string { return h.trace }
+	}
+
+	run := func(ex Executor) []string {
+		_, trace := build(ex)
+		if err := ex.Run(time.Second); err != ErrStopped {
+			t.Fatalf("first Run = %v, want ErrStopped", err)
+		}
+		if err := ex.Run(time.Second); err != nil { // resume
+			t.Fatalf("resume Run = %v", err)
+		}
+		return trace()
+	}
+
+	want := perEntity(run(New(9)))
+	got := perEntity(run(NewParallel(9, 2, testWindow, func(k ContextKey) int { return int(uint64(k) % 2) })))
+	if len(got) != len(want) {
+		t.Fatalf("entity count %d, want %d", len(got), len(want))
+	}
+	for k, w := range want {
+		g := got[k]
+		if len(g) != len(w) {
+			t.Fatalf("entity %s: %d events, want %d", k, len(g), len(w))
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("entity %s event %d: got %s want %s", k, i, g[i], w[i])
+			}
+		}
+	}
+}

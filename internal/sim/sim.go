@@ -1,11 +1,30 @@
 // Package sim provides the deterministic discrete-event simulation kernel
 // that stands in for the physical MICA2 testbed used by the Agilla paper.
 //
-// The kernel is intentionally single-threaded: events execute one at a time
-// in (time, sequence) order, and all randomness flows from a single seeded
-// source. Running the same scenario with the same seed reproduces the exact
-// same schedule, which is what lets the benchmark harness regenerate the
-// paper's figures reproducibly.
+// The kernel is built around three pieces:
+//
+//   - A Ctx (scheduling context) per simulated entity — one per mote, plus
+//     a root context for harness code. Every event carries the key and a
+//     per-context sequence number of the context that scheduled it, and
+//     events fire in (time, context key, sequence) order. Because the tie
+//     break depends only on who scheduled what — never on the global
+//     interleaving of the run — the schedule is reproducible across
+//     executors.
+//
+//   - Splittable random streams: each context owns a random stream derived
+//     from the root seed and its key (see Stream), so the values an entity
+//     draws do not depend on what other entities drew in between. This is
+//     what lets a sharded executor replay the exact sequential schedule.
+//
+//   - An Executor that runs the event queue. Sequential (the Sim type) is
+//     the default: one queue, one clock, events strictly in key order.
+//     Parallel partitions contexts into shards that execute concurrently
+//     inside conservative time windows (see parallel.go); for the same
+//     seed it produces the identical per-node schedule.
+//
+// Running the same scenario with the same seed reproduces the exact same
+// schedule under either executor, which is what lets the benchmark harness
+// regenerate the paper's figures reproducibly.
 package sim
 
 import (
@@ -13,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -20,11 +40,106 @@ import (
 // explicitly before reaching its goal condition.
 var ErrStopped = errors.New("sim: stopped")
 
+// ContextKey identifies a scheduling context. Keys order events that fire
+// at the same instant, so they must be assigned deterministically (e.g.
+// from a node's location via Key2D), never from map iteration or pointer
+// values.
+type ContextKey uint64
+
+// RootKey is the key of an executor's root context, used by harness code
+// that is not tied to any simulated entity. Root events sort before node
+// events scheduled for the same instant.
+const RootKey ContextKey = 0
+
+// Key2D derives a context key from 2D integer coordinates (a node's
+// location). Distinct coordinates yield distinct keys, and no coordinate
+// collides with RootKey.
+func Key2D(x, y int16) ContextKey {
+	return ContextKey(uint64(uint16(x))<<16|uint64(uint16(y))) + 1
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Stream derives an independent deterministic random stream from the root
+// seed and a salt path. Entities that draw from their own streams (per
+// node, per radio link) observe the same values whatever order other
+// entities draw in — the property that makes parallel execution replay the
+// sequential schedule exactly.
+//
+// The generator is a splitmix64 counter: simulations allocate one stream
+// per node and per radio link, and the default math/rand source would pay
+// a 607-word seeding pass for each (a quarter of a large run's CPU time).
+func Stream(seed int64, salts ...uint64) *rand.Rand {
+	h := splitmix64(uint64(seed))
+	for _, s := range salts {
+		h = splitmix64(h ^ s)
+	}
+	return rand.New(&splitSource{state: h})
+}
+
+// splitSource is a splitmix64-backed rand.Source64: constant-time to
+// seed, 2^64 period, and statistically solid for channel and scheduling
+// noise.
+type splitSource struct{ state uint64 }
+
+func (s *splitSource) Uint64() uint64 {
+	out := splitmix64(s.state) // finalize(state + golden), the helper's own increment
+	s.state += 0x9e3779b97f4a7c15
+	return out
+}
+
+func (s *splitSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitSource) Seed(seed int64) { s.state = splitmix64(uint64(seed)) }
+
+// saltCtx namespaces per-context streams within the seed's stream space.
+const saltCtx = 0x637478 // "ctx"
+
+// Executor runs a discrete-event schedule. Sim (sequential) and Parallel
+// implement it with identical per-node schedules for the same seed.
+type Executor interface {
+	// Now returns the current virtual time. Between Run calls all context
+	// clocks agree with it.
+	Now() time.Duration
+	// Seed returns the root seed all randomness derives from.
+	Seed() int64
+	// Shards returns the number of execution shards (1 for sequential).
+	Shards() int
+	// Context returns (creating on first use) the scheduling context for
+	// key. Safe for concurrent use; contexts should nevertheless be
+	// created during setup, not mid-run.
+	Context(key ContextKey) *Ctx
+	// Run executes events until the queue is empty or the virtual clock
+	// would pass until. Events at exactly until still run.
+	Run(until time.Duration) error
+	// RunUntilIdle executes events until none remain. maxEvents guards
+	// against runaway schedules; 0 means no limit.
+	RunUntilIdle(maxEvents uint64) error
+	// RunUntil executes events until pred returns true, the queue
+	// empties, or the clock passes limit, reporting whether pred became
+	// true. Sequential checks pred after every event; Parallel checks at
+	// window barriers (see parallel.go).
+	RunUntil(pred func() bool, limit time.Duration) (bool, error)
+	// Stop makes the current Run call return ErrStopped.
+	Stop()
+	// Executed returns the number of events that have fired so far.
+	Executed() uint64
+	// Pending returns the number of live queued events.
+	Pending() int
+}
+
 // Event is a scheduled callback. It is returned by Schedule so callers can
 // cancel pending timers (for example retransmission timers that are no
-// longer needed once an acknowledgment arrives).
+// longer needed once an acknowledgment arrives). Cancel an event only from
+// the context (shard) that scheduled it.
 type Event struct {
 	at     time.Duration
+	src    ContextKey
 	seq    uint64
 	fn     func()
 	index  int // heap index, -1 when not queued
@@ -53,6 +168,9 @@ func (q eventQueue) Less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
+	if q[i].src != q[j].src {
+		return q[i].src < q[j].src
+	}
 	return q[i].seq < q[j].seq
 }
 
@@ -78,50 +196,240 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
-// Sim is a discrete-event simulator with a virtual clock.
-// The zero value is not usable; construct with New.
-type Sim struct {
-	now     time.Duration
-	seq     uint64
-	queue   eventQueue
-	rng     *rand.Rand
-	stopped bool
-	// executed counts events that have fired; useful for runaway detection.
+// shard is one execution lane: a queue, a clock, and a mailbox for events
+// scheduled into it from other shards. The sequential executor has exactly
+// one; Parallel has one per worker.
+type shard struct {
+	idx      int
+	win      time.Duration // conservative cross-shard lookahead; 0 when single-shard
+	now      time.Duration
+	lastAt   time.Duration // timestamp of the last executed event
 	executed uint64
+	queue    eventQueue
+
+	mu    sync.Mutex
+	inbox []*Event // cross-shard arrivals, merged into queue at barriers
 }
 
-// New returns a simulator whose randomness is derived from seed.
-func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+// drain merges the inbox into the local queue. Called only while no worker
+// is executing the shard.
+func (sh *shard) drain() {
+	sh.mu.Lock()
+	in := sh.inbox
+	sh.inbox = nil
+	sh.mu.Unlock()
+	for _, e := range in {
+		heap.Push(&sh.queue, e)
+	}
 }
 
-// Now returns the current virtual time.
-func (s *Sim) Now() time.Duration { return s.now }
+// peek returns the next live event without removing it, discarding
+// cancelled ones.
+func (sh *shard) peek() *Event {
+	for len(sh.queue) > 0 {
+		if sh.queue[0].cancel {
+			heap.Pop(&sh.queue)
+			continue
+		}
+		return sh.queue[0]
+	}
+	return nil
+}
 
-// Rand returns the simulation-wide random source. All stochastic models
-// (radio loss, agent randnbr, ...) must use this source so runs are
-// reproducible from the seed alone.
-func (s *Sim) Rand() *rand.Rand { return s.rng }
+// due reports whether the shard has an event to run before end (inclusive
+// when closed).
+func (sh *shard) due(end time.Duration, closed bool) bool {
+	e := sh.peek()
+	if e == nil {
+		return false
+	}
+	if closed {
+		return e.at <= end
+	}
+	return e.at < end
+}
 
-// Executed returns the number of events that have fired so far.
-func (s *Sim) Executed() uint64 { return s.executed }
+// runTo executes events scheduled before end — at exactly end too when
+// closed — advancing the shard clock event by event and leaving it at the
+// last executed event. At most budget events run per call (0: unlimited);
+// it reports whether the window completed. The cap is what lets the
+// caller re-check stop flags and event budgets against zero-delay
+// self-perpetuating schedules that would otherwise never reach a window
+// boundary.
+func (sh *shard) runTo(end time.Duration, closed bool, budget uint64) bool {
+	var n uint64
+	for {
+		e := sh.peek()
+		if e == nil || e.at > end || (!closed && e.at == end) {
+			return true
+		}
+		if budget > 0 && n >= budget {
+			return false
+		}
+		heap.Pop(&sh.queue)
+		sh.now = e.at
+		sh.lastAt = e.at
+		sh.executed++
+		n++
+		e.fn()
+	}
+}
 
-// Schedule arranges for fn to run after delay d of virtual time.
-// A negative delay is treated as zero. Events scheduled for the same
-// instant fire in scheduling order.
-func (s *Sim) Schedule(d time.Duration, fn func()) *Event {
+// pending counts live queued events plus inbox arrivals.
+func (sh *shard) pending() int {
+	n := 0
+	for _, e := range sh.queue {
+		if !e.cancel {
+			n++
+		}
+	}
+	sh.mu.Lock()
+	n += len(sh.inbox)
+	sh.mu.Unlock()
+	return n
+}
+
+// Ctx is one entity's scheduling context: its clock view, its event
+// ordering identity, and its private random stream. All methods must be
+// called either from events running on the context's own shard or from
+// the host while the executor is paused.
+type Ctx struct {
+	key   ContextKey
+	shard *shard
+	seq   uint64
+	rng   *rand.Rand
+}
+
+// Key returns the context's key.
+func (c *Ctx) Key() ContextKey { return c.key }
+
+// Shard returns the index of the shard the context executes on.
+func (c *Ctx) Shard() int { return c.shard.idx }
+
+// Now returns the context's current virtual time.
+func (c *Ctx) Now() time.Duration { return c.shard.now }
+
+// Rand returns the context's private random stream. All stochastic models
+// tied to this entity must use it so runs are reproducible from the seed
+// alone, independent of event interleaving across entities.
+func (c *Ctx) Rand() *rand.Rand { return c.rng }
+
+// Schedule arranges for fn to run after delay d of virtual time on this
+// context's shard. A negative delay is treated as zero. Events scheduled
+// for the same instant by the same context fire in scheduling order.
+func (c *Ctx) Schedule(d time.Duration, fn func()) *Event {
 	if d < 0 {
 		d = 0
 	}
-	e := &Event{at: s.now + d, seq: s.seq, fn: fn, index: -1}
-	s.seq++
-	heap.Push(&s.queue, e)
+	e := &Event{at: c.shard.now + d, src: c.key, seq: c.seq, fn: fn, index: -1}
+	c.seq++
+	heap.Push(&c.shard.queue, e)
 	return e
 }
 
-// Post schedules fn to run at the current instant, after all events already
-// queued for this instant. It models posting a TinyOS task.
-func (s *Sim) Post(fn func()) *Event { return s.Schedule(0, fn) }
+// Post schedules fn to run at the current instant, after all events this
+// context already queued for this instant. It models posting a TinyOS
+// task.
+func (c *Ctx) Post(fn func()) *Event { return c.Schedule(0, fn) }
+
+// Send schedules fn to run after delay d on the receiver context's shard,
+// ordered by this (sending) context's identity. It is the one cross-shard
+// scheduling primitive: the radio uses it to deliver frames. When the
+// receiver lives on a different shard, d must be at least the executor's
+// lookahead window — which holds by construction, because the window is
+// the minimum frame delay.
+func (c *Ctx) Send(to *Ctx, d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e := &Event{at: c.shard.now + d, src: c.key, seq: c.seq, fn: fn, index: -1}
+	c.seq++
+	if to.shard == c.shard {
+		heap.Push(&c.shard.queue, e)
+		return
+	}
+	if d < c.shard.win {
+		panic(fmt.Sprintf("sim: cross-shard send with delay %v below the %v lookahead window", d, c.shard.win))
+	}
+	to.shard.mu.Lock()
+	to.shard.inbox = append(to.shard.inbox, e)
+	to.shard.mu.Unlock()
+}
+
+// ctxTable is the executor-shared context registry: one mutex-guarded
+// map from key to Ctx, creating contexts on first use with their
+// key-derived stream. Both executors embed it so context creation can
+// never diverge between them.
+type ctxTable struct {
+	seed int64
+	mu   sync.Mutex
+	ctxs map[ContextKey]*Ctx
+}
+
+func newCtxTable(seed int64) ctxTable {
+	return ctxTable{seed: seed, ctxs: make(map[ContextKey]*Ctx)}
+}
+
+// context returns (creating on first use) the context for key, placed on
+// the shard shardFor picks.
+func (t *ctxTable) context(key ContextKey, shardFor func(ContextKey) *shard) *Ctx {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.ctxs[key]; ok {
+		return c
+	}
+	c := &Ctx{key: key, shard: shardFor(key), rng: Stream(t.seed, saltCtx, uint64(key))}
+	t.ctxs[key] = c
+	return c
+}
+
+// Sim is the sequential discrete-event executor: one queue, one clock,
+// events strictly in (time, context key, sequence) order. It doubles as a
+// plain scheduling surface for tests and simple consumers: Schedule, Post,
+// and Rand operate on its root context.
+//
+// The zero value is not usable; construct with New. Not safe for
+// concurrent use.
+type Sim struct {
+	tab     ctxTable
+	sh      *shard
+	root    *Ctx
+	stopped bool
+}
+
+// New returns a sequential executor whose randomness derives from seed.
+func New(seed int64) *Sim {
+	s := &Sim{tab: newCtxTable(seed), sh: &shard{}}
+	s.root = s.Context(RootKey)
+	return s
+}
+
+// Seed returns the root seed.
+func (s *Sim) Seed() int64 { return s.tab.seed }
+
+// Shards returns 1: the sequential executor is a single lane.
+func (s *Sim) Shards() int { return 1 }
+
+// Context returns (creating on first use) the scheduling context for key.
+func (s *Sim) Context(key ContextKey) *Ctx {
+	return s.tab.context(key, func(ContextKey) *shard { return s.sh })
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.sh.now }
+
+// Rand returns the root context's random stream. Entity-tied randomness
+// should use the entity context's Rand instead.
+func (s *Sim) Rand() *rand.Rand { return s.root.rng }
+
+// Executed returns the number of events that have fired so far.
+func (s *Sim) Executed() uint64 { return s.sh.executed }
+
+// Schedule arranges for fn to run after delay d on the root context.
+func (s *Sim) Schedule(d time.Duration, fn func()) *Event { return s.root.Schedule(d, fn) }
+
+// Post schedules fn at the current instant on the root context.
+func (s *Sim) Post(fn func()) *Event { return s.root.Post(fn) }
 
 // Stop makes the currently running Run call return after the current event.
 func (s *Sim) Stop() { s.stopped = true }
@@ -129,17 +437,16 @@ func (s *Sim) Stop() { s.stopped = true }
 // Step fires the next pending event, advancing the clock to its timestamp.
 // It returns false when the queue is empty.
 func (s *Sim) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.cancel {
-			continue
-		}
-		s.now = e.at
-		s.executed++
-		e.fn()
-		return true
+	e := s.sh.peek()
+	if e == nil {
+		return false
 	}
-	return false
+	heap.Pop(&s.sh.queue)
+	s.sh.now = e.at
+	s.sh.lastAt = e.at
+	s.sh.executed++
+	e.fn()
+	return true
 }
 
 // Run executes events until the queue is empty or the virtual clock would
@@ -151,12 +458,12 @@ func (s *Sim) Run(until time.Duration) error {
 		if s.stopped {
 			return ErrStopped
 		}
-		e := s.peek()
+		e := s.sh.peek()
 		if e == nil {
 			return nil
 		}
 		if e.at > until {
-			s.now = until
+			s.sh.now = until
 			return nil
 		}
 		s.Step()
@@ -167,12 +474,12 @@ func (s *Sim) Run(until time.Duration) error {
 // runaway schedules (self-perpetuating beacons); 0 means no limit.
 func (s *Sim) RunUntilIdle(maxEvents uint64) error {
 	s.stopped = false
-	start := s.executed
+	start := s.sh.executed
 	for s.Step() {
 		if s.stopped {
 			return ErrStopped
 		}
-		if maxEvents > 0 && s.executed-start >= maxEvents {
+		if maxEvents > 0 && s.sh.executed-start >= maxEvents {
 			return fmt.Errorf("sim: exceeded %d events without going idle", maxEvents)
 		}
 	}
@@ -191,12 +498,12 @@ func (s *Sim) RunUntil(pred func() bool, limit time.Duration) (bool, error) {
 		if s.stopped {
 			return false, ErrStopped
 		}
-		e := s.peek()
+		e := s.sh.peek()
 		if e == nil {
 			return false, nil
 		}
 		if e.at > limit {
-			s.now = limit
+			s.sh.now = limit
 			return false, nil
 		}
 		s.Step()
@@ -206,24 +513,7 @@ func (s *Sim) RunUntil(pred func() bool, limit time.Duration) (bool, error) {
 	}
 }
 
-func (s *Sim) peek() *Event {
-	for len(s.queue) > 0 {
-		if s.queue[0].cancel {
-			heap.Pop(&s.queue)
-			continue
-		}
-		return s.queue[0]
-	}
-	return nil
-}
-
 // Pending returns the number of live (non-cancelled) queued events.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, e := range s.queue {
-		if !e.cancel {
-			n++
-		}
-	}
-	return n
-}
+func (s *Sim) Pending() int { return s.sh.pending() }
+
+var _ Executor = (*Sim)(nil)

@@ -1,0 +1,63 @@
+package topology
+
+import "testing"
+
+func TestPartitionStripsBalancedAndTotal(t *testing.T) {
+	locs := append(GridLocations(10, 7), Loc(0, 0))
+	for _, k := range []int{1, 2, 3, 4, 8} {
+		got := PartitionStrips(locs, k)
+		if len(got) != len(locs) {
+			t.Fatalf("k=%d: %d locations assigned, want %d", k, len(got), len(locs))
+		}
+		counts := make([]int, k)
+		for loc, s := range got {
+			if s < 0 || s >= k {
+				t.Fatalf("k=%d: %v assigned to shard %d", k, loc, s)
+			}
+			counts[s]++
+		}
+		min, max := len(locs), 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("k=%d: unbalanced shards %v", k, counts)
+		}
+	}
+}
+
+func TestPartitionStripsDeterministicAndSpatial(t *testing.T) {
+	locs := GridLocations(6, 6)
+	a := PartitionStrips(locs, 3)
+	b := PartitionStrips(locs, 3)
+	for loc := range a {
+		if a[loc] != b[loc] {
+			t.Fatalf("assignment for %v differs across calls", loc)
+		}
+	}
+	// Strips cut along X: same column, same shard.
+	for x := int16(1); x <= 6; x++ {
+		want := a[Loc(x, 1)]
+		for y := int16(2); y <= 6; y++ {
+			if a[Loc(x, y)] != want {
+				t.Errorf("column %d split across shards", x)
+			}
+		}
+	}
+	// More shards than locations must still cover everything in range.
+	tiny := PartitionStrips(locs[:2], 5)
+	if len(tiny) != 2 {
+		t.Fatalf("tiny partition covered %d locations", len(tiny))
+	}
+}
+
+func TestPartitionStripsEmpty(t *testing.T) {
+	if got := PartitionStrips(nil, 4); len(got) != 0 {
+		t.Fatalf("empty input produced %d assignments", len(got))
+	}
+}

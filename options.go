@@ -22,11 +22,12 @@ func ReliableRadio() RadioParams { return radio.ZeroLoss() }
 
 // settings is the resolved configuration behind New.
 type settings struct {
-	topo  Topology
-	seed  int64
-	radio *radio.Params
-	field Field
-	node  NodeConfig
+	topo    Topology
+	seed    int64
+	radio   *radio.Params
+	field   Field
+	node    NodeConfig
+	workers int
 }
 
 // Option configures New.
@@ -59,6 +60,22 @@ func WithNodeConfig(cfg NodeConfig) Option {
 	return func(s *settings) { s.node = cfg }
 }
 
+// WithWorkers runs the simulation kernel on n parallel workers. The
+// deployment is partitioned into n spatial shards that execute
+// concurrently inside time windows bounded by the radio's minimum frame
+// delay, with cross-shard frames exchanged at window barriers — so the
+// schedule every node observes is event-for-event identical to the
+// default sequential kernel for the same seed, while large deployments
+// use all n cores. Values of 0 or 1 keep the sequential kernel.
+//
+// Two caveats. RunUntil and Scenario.Until predicates are evaluated at
+// window barriers (roughly every 21 ms of virtual time under the default
+// radio), not after every event, so predicate-bounded runs may advance up
+// to one window past the triggering instant; time-bounded runs are exact.
+// And the Events channel may interleave events from concurrently
+// executing nodes in nondeterministic order — see Events.
+func WithWorkers(n int) Option { return func(s *settings) { s.workers = n } }
+
 // New builds a deployment from functional options. With no options it
 // builds the paper's testbed: a 5×5 MICA2 grid with the calibrated lossy
 // CC1000 model, a base station at (0,0) bridged to the gateway mote
@@ -79,11 +96,12 @@ func New(opts ...Option) (*Network, error) {
 		return nil, fmt.Errorf("agilla: %w", err)
 	}
 	d, err := core.NewDeployment(core.DeploymentSpec{
-		Layout: layout,
-		Seed:   s.seed,
-		Radio:  s.radio,
-		Node:   s.node,
-		Field:  s.field,
+		Layout:  layout,
+		Seed:    s.seed,
+		Radio:   s.radio,
+		Node:    s.node,
+		Field:   s.field,
+		Workers: s.workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("agilla: %w", err)

@@ -54,6 +54,14 @@ type Scenario struct {
 	// NodeConfig overrides per-mote budgets and timers (nil: paper
 	// defaults).
 	NodeConfig *NodeConfig
+	// Workers runs each deployment's simulation kernel on this many
+	// parallel workers (see WithWorkers); 0 or 1 keeps the sequential
+	// kernel. Metrics are identical either way for time-bounded runs;
+	// Until-bounded runs may advance up to one lookahead window further
+	// under parallel execution. Workers multiplies with RunMany's
+	// across-seed parallelism, so large values suit single deep runs, not
+	// wide sweeps.
+	Workers int
 	// Agents are injected in order after warm-up.
 	Agents []AgentSpec
 	// SkipWarmup starts injecting before neighbor discovery settles.
@@ -155,6 +163,9 @@ func (s *Scenario) run(ctx context.Context, seed int64) (*Metrics, error) {
 	}
 	if s.NodeConfig != nil {
 		opts = append(opts, WithNodeConfig(*s.NodeConfig))
+	}
+	if s.Workers > 1 {
+		opts = append(opts, WithWorkers(s.Workers))
 	}
 	nw, err := New(opts...)
 	if err != nil {
