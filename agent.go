@@ -1,6 +1,7 @@
 package agilla
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
@@ -107,11 +108,40 @@ func (a *Agent) Kill() bool {
 //	arrived, err := ag.Wait(func(a *agilla.Agent) bool {
 //		return a.Location() == dest
 //	}, time.Minute)
+//
+// If the agent dies because its host node went down (a scripted kill,
+// churn, or battery exhaustion) before pred becomes true, Wait returns
+// (false, ErrNodeDown) immediately instead of idling out the limit —
+// waiting on a condition a dead agent can never satisfy is a scripting
+// bug worth a typed error. A pred that is itself satisfied by the death
+// (e.g. WaitDone's) still wins: Wait reports true.
 func (a *Agent) Wait(pred func(*Agent) bool, limit time.Duration) (bool, error) {
 	if pred == nil {
 		return false, fmt.Errorf("agilla: Agent.Wait needs a predicate")
 	}
-	return a.nw.RunUntil(func() bool { return pred(a) }, limit)
+	matched := false
+	hostDied := func() bool {
+		info, ok := a.nw.d.AgentRecord(a.id)
+		return ok && info.State == AgentDead && errors.Is(info.Err, ErrNodeDown)
+	}
+	ok, err := a.nw.RunUntil(func() bool {
+		if pred(a) {
+			matched = true
+			return true
+		}
+		return hostDied()
+	}, limit)
+	if err != nil {
+		return false, err
+	}
+	if matched || pred(a) {
+		return true, nil
+	}
+	if ok || hostDied() {
+		// The run stopped because the agent died with its node.
+		return false, ErrNodeDown
+	}
+	return false, nil
 }
 
 // WaitDone advances the simulation until the agent's life is over (halt,

@@ -60,8 +60,15 @@
 //     deadlines derived from the node configuration, plus a network-wide
 //     Query that fans rrdp out across every mote.
 //   - Events — typed middleware events (agent arrivals and deaths,
-//     migrations, remote ops, tuple activity, reaction firings) from
-//     nw.Events(filters...), replacing raw trace callbacks.
+//     migrations, remote ops, tuple activity, reaction firings, node
+//     lifecycle) from nw.Events(filters...), replacing raw trace
+//     callbacks.
+//
+// The world itself is dynamic: nodes die, recover, move, and drain
+// batteries while the simulation runs — scripted with WorldEvent values
+// (KillAt/ReviveAt/MoveAt), stochastically with a seeded ChurnProcess,
+// or with per-mote batteries via WithEnergy — all deterministic per seed
+// under both executors. See the README's "Dynamic worlds" section.
 package agilla
 
 import (

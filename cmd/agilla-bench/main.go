@@ -32,6 +32,16 @@
 //	          wall_secs, hash, ...). Benchmarks the kernel
 //	          rather than a paper figure, so it is not part
 //	          of "-exp all" — request it explicitly.
+//	churn     the dynamic-world benchmark: grids under a
+//	          scripted kill/revive/move schedule with the
+//	          energy model active, swept over -workers like
+//	          scale; -json writes BENCH_churn.json rows.
+//	          Also opt-in, for the same reason as scale.
+//
+// With -json PATH and a single JSON-capable experiment selected, PATH is
+// the output file. With both scale and churn selected, PATH is treated
+// as a directory and receives BENCH_scale.json and BENCH_churn.json —
+// the artifact names CI uploads to track the perf trajectory.
 package main
 
 import (
@@ -40,6 +50,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -47,13 +58,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: fig9,fig10,fig11,fig12,fig5,memory,speed,casestudy,ensemble,mate,ablate,scale,all")
+	exp := flag.String("exp", "all", "comma-separated experiments: fig9,fig10,fig11,fig12,fig5,memory,speed,casestudy,ensemble,mate,ablate,scale,churn,all")
 	trials := flag.Int("trials", 100, "trials per data point")
 	seed := flag.Int64("seed", 7, "simulation seed")
 	runs := flag.Int("runs", 8, "seeds for the ensemble experiment")
 	quick := flag.Bool("quick", false, "reduced trial counts for a fast pass")
-	workers := flag.Int("workers", 4, "max kernel parallelism the scale experiment sweeps up to")
-	jsonPath := flag.String("json", "", "write the scale experiment's rows to this file as JSON")
+	workers := flag.Int("workers", 4, "max kernel parallelism the scale/churn experiments sweep up to")
+	jsonPath := flag.String("json", "", "write scale/churn rows as JSON: a file when one such experiment is selected, a directory (BENCH_scale.json, BENCH_churn.json) when both are")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -113,25 +124,53 @@ func main() {
 		run(ctx, &ran, func() (fmt.Stringer, error) { return experiments.AblationLossModel(cfg) })
 		run(ctx, &ran, func() (fmt.Stringer, error) { return experiments.AblationRetries(cfg) })
 	}
-	// scale benchmarks the kernel rather than reproducing a figure, so it
-	// is opt-in: "-exp all" keeps meaning "every figure and table".
-	if want["scale"] {
+	// scale and churn benchmark the kernel rather than reproducing a
+	// figure, so they are opt-in: "-exp all" keeps meaning "every figure
+	// and table". With both selected, -json is a directory receiving the
+	// BENCH_*.json artifacts; with one, it is the output file.
+	jsonFile := func(name string) (string, error) {
+		if *jsonPath == "" {
+			return "", nil
+		}
+		if !(want["scale"] && want["churn"]) {
+			return *jsonPath, nil
+		}
+		if err := os.MkdirAll(*jsonPath, 0o755); err != nil {
+			return "", fmt.Errorf("json dir %s: %w", *jsonPath, err)
+		}
+		return filepath.Join(*jsonPath, name), nil
+	}
+	type jsonResult interface {
+		fmt.Stringer
+		JSON() ([]byte, error)
+	}
+	runJSON := func(name string, f func() (jsonResult, error)) {
 		run(ctx, &ran, func() (fmt.Stringer, error) {
-			res, err := experiments.Scale(cfg)
+			res, err := f()
 			if err != nil {
 				return nil, err
 			}
-			if *jsonPath != "" {
+			path, err := jsonFile(name)
+			if err != nil {
+				return nil, err
+			}
+			if path != "" {
 				data, err := res.JSON()
 				if err != nil {
 					return nil, err
 				}
-				if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
-					return nil, fmt.Errorf("write %s: %w", *jsonPath, err)
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					return nil, fmt.Errorf("write %s: %w", path, err)
 				}
 			}
 			return res, nil
 		})
+	}
+	if want["scale"] {
+		runJSON("BENCH_scale.json", func() (jsonResult, error) { return experiments.Scale(cfg) })
+	}
+	if want["churn"] {
+		runJSON("BENCH_churn.json", func() (jsonResult, error) { return experiments.Churn(cfg) })
 	}
 
 	if ctx.Err() != nil {

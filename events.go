@@ -80,6 +80,10 @@ const (
 	EventRemoteDone
 	EventTupleOut
 	EventReactionFired
+	EventNodeDied
+	EventNodeRecovered
+	EventNodeMoved
+	EventEnergyExhausted
 )
 
 func (k EventKind) String() string {
@@ -100,6 +104,14 @@ func (k EventKind) String() string {
 		return "tuple-out"
 	case EventReactionFired:
 		return "reaction-fired"
+	case EventNodeDied:
+		return "node-died"
+	case EventNodeRecovered:
+		return "node-recovered"
+	case EventNodeMoved:
+		return "node-moved"
+	case EventEnergyExhausted:
+		return "energy-exhausted"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -289,6 +301,73 @@ func (e ReactionFired) String() string {
 	return fmt.Sprintf("reaction of agent %d fired at %v on %v", e.AgentID, e.Node, e.Tuple)
 }
 
+// NodeDied reports a mote going down: a scripted fault, the host API, or
+// battery exhaustion (Cause distinguishes). Hosted agents report their
+// own AgentDied events, carrying ErrNodeDown, first.
+type NodeDied struct {
+	At    time.Duration
+	Node  Location
+	Cause DownCause
+}
+
+func (e NodeDied) Kind() EventKind         { return EventNodeDied }
+func (e NodeDied) When() time.Duration     { return e.At }
+func (e NodeDied) Where() Location         { return e.Node }
+func (e NodeDied) agentID() (uint16, bool) { return 0, false }
+func (e NodeDied) String() string {
+	return fmt.Sprintf("node %v died (%v)", e.Node, e.Cause)
+}
+
+// NodeRecovered reports a dead mote finishing its reboot: back on the
+// air with empty spaces, re-seeded context tuples, and a fresh battery.
+type NodeRecovered struct {
+	At   time.Duration
+	Node Location
+}
+
+func (e NodeRecovered) Kind() EventKind         { return EventNodeRecovered }
+func (e NodeRecovered) When() time.Duration     { return e.At }
+func (e NodeRecovered) Where() Location         { return e.Node }
+func (e NodeRecovered) agentID() (uint16, bool) { return 0, false }
+func (e NodeRecovered) String() string {
+	return fmt.Sprintf("node %v recovered", e.Node)
+}
+
+// NodeMoved reports a mote relocating from From to Node (its new
+// address), agents and tuples aboard.
+type NodeMoved struct {
+	At   time.Duration
+	Node Location // the new location
+	From Location // the vacated location
+}
+
+func (e NodeMoved) Kind() EventKind         { return EventNodeMoved }
+func (e NodeMoved) When() time.Duration     { return e.At }
+func (e NodeMoved) Where() Location         { return e.Node }
+func (e NodeMoved) agentID() (uint16, bool) { return 0, false }
+func (e NodeMoved) String() string {
+	return fmt.Sprintf("node moved %v -> %v", e.From, e.Node)
+}
+
+// EnergyExhausted reports a battery emptying; the NodeDied it causes
+// follows immediately.
+type EnergyExhausted struct {
+	At   time.Duration
+	Node Location
+	// UsedJ is the emptied battery's drain in joules (the cells
+	// installed at death; a revived mote's earlier batteries are not
+	// included).
+	UsedJ float64
+}
+
+func (e EnergyExhausted) Kind() EventKind         { return EventEnergyExhausted }
+func (e EnergyExhausted) When() time.Duration     { return e.At }
+func (e EnergyExhausted) Where() Location         { return e.Node }
+func (e EnergyExhausted) agentID() (uint16, bool) { return 0, false }
+func (e EnergyExhausted) String() string {
+	return fmt.Sprintf("node %v exhausted its battery (%.3g J)", e.Node, e.UsedJ)
+}
+
 // EventFilter selects a subset of the event stream; a subscription keeps
 // an event only if every filter passes. Combine the provided constructors
 // or write any predicate over the Event interface.
@@ -427,11 +506,24 @@ func (nw *Network) Events(filters ...EventFilter) <-chan Event {
 	return sub.st.out
 }
 
-// Close ends every event and watch subscription: their channels close
-// once already-queued items are drained. The network itself remains
-// usable — Close only concerns subscriptions — but events occurring
-// afterwards are not delivered anywhere. Callers that subscribed should
-// Close (and drain) when done so pump goroutines can exit.
+// Close ends every event and watch subscription. The contract, exactly:
+//
+//   - Every event published before Close remains deliverable: the
+//     subscription channel keeps yielding queued items in order.
+//   - Each channel closes once its queue is drained; a fully-drained
+//     channel closes immediately. Ranging over the channel therefore
+//     always terminates after Close.
+//   - Events occurring after Close are delivered nowhere.
+//   - Each subscription's pump goroutine exits once its channel has been
+//     drained to close — but a pump blocked on an unread channel holds
+//     its goroutine, so abandoning an undrained channel after Close
+//     leaks exactly that pump until the channel is read or the process
+//     ends. Drain (or never subscribe) if goroutine hygiene matters;
+//     TestCloseDrainsAndReleasesGoroutines pins this behavior.
+//   - Close is idempotent, and subscribing after Close yields an
+//     immediately-closed channel.
+//
+// The network itself remains usable — Close only concerns subscriptions.
 func (nw *Network) Close() error {
 	nw.ev.mu.Lock()
 	defer nw.ev.mu.Unlock()
@@ -498,6 +590,18 @@ func (nw *Network) installTaps() {
 	}
 	tr.ReactionFired = func(node Location, id uint16, t Tuple) {
 		nw.publish(ReactionFired{At: now(node), Node: node, AgentID: id, Tuple: t})
+	}
+	tr.NodeDied = func(node Location, cause DownCause) {
+		nw.publish(NodeDied{At: now(node), Node: node, Cause: cause})
+	}
+	tr.NodeRecovered = func(node Location) {
+		nw.publish(NodeRecovered{At: now(node), Node: node})
+	}
+	tr.NodeMoved = func(from, to Location) {
+		nw.publish(NodeMoved{At: now(to), Node: to, From: from})
+	}
+	tr.EnergyExhausted = func(node Location, usedJ float64) {
+		nw.publish(EnergyExhausted{At: now(node), Node: node, UsedJ: usedJ})
 	}
 }
 

@@ -1,7 +1,12 @@
-// Firetracking reproduces the paper's §5 case study end to end: fire
-// detection agents spread across an idle network, a tracker waits at the
-// base station, a wildfire ignites, and the tracker swarm forms a dynamic
-// perimeter around the flames.
+// Firetracking reproduces the paper's §5 case study end to end — now on a
+// dynamic world: fire detection agents spread across an idle network, a
+// tracker waits at the base station, a wildfire ignites, and the tracker
+// swarm forms a dynamic perimeter around the flames. The fire is lethal:
+// a mote that has burned for a while is destroyed (a scripted KillAt per
+// ignited cell), so the swarm must keep re-forming on surviving hardware,
+// and a guard agent posted near the ignition point senses the approaching
+// flames and flees — surviving the death of its own host node, the
+// adaptation story the paper's middleware exists to enable.
 //
 //	go run ./examples/firetracking
 package main
@@ -18,6 +23,9 @@ import (
 )
 
 const width, height = 5, 5
+
+// burnout is how long a cell burns before the mote on it is destroyed.
+const burnout = 30 * time.Second
 
 func main() {
 	// The fire spreads one cell every 40 seconds once ignited.
@@ -58,22 +66,58 @@ func main() {
 	fmt.Printf("detectors deployed on %d/25 motes\n", covered())
 
 	// Phase 2 — a FIRETRACKER waits at the base station for the alert
-	// (the Figure 2 prologue: React on <"fir", location>, then wait).
-	// The tracker ships straight from the program library, where it is
-	// built with the typed builder and golden-tested byte-identical to
-	// the paper's listing.
+	// (the Figure 2 prologue: React on <"fir", location>, then wait),
+	// and a guard agent is posted next to the future ignition point: it
+	// watches its thermometer and flees to the gateway the moment the
+	// flames reach the next cell (reading > 120 means fire one hop away).
 	tracker, _ := program.Get("fire-tracker")
 	if _, err := nw.Launch(tracker.Program, agilla.Loc(0, 0)); err != nil {
+		log.Fatal(err)
+	}
+	guardSrc := `
+		WATCH pushc TEMPERATURE
+		      sense
+		      pushcl 120
+		      clt            // condition = reading > 120: flames adjacent
+		      rjumpc FLEE
+		      pushcl 8
+		      sleep          // 1 s at the 1/8 s tick
+		      rjump WATCH
+		FLEE  pushloc 1 1
+		      smove          // outrun the fire: strong move to the gateway
+		      pushn esc
+		      pushc 1
+		      out            // leave proof of the escape
+		IDLE  pushcl 64
+		      sleep
+		      rjump IDLE
+	`
+	guardProgram, err := program.Parse(guardSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	guardHome := agilla.Loc(3, 4) // one cell from where lightning will strike
+	guard, err := nw.Launch(guardProgram.WithName("guard"), guardHome)
+	if err != nil {
 		log.Fatal(err)
 	}
 	if err := nw.Run(2 * time.Second); err != nil {
 		log.Fatal(err)
 	}
 
-	// Phase 3 — lightning strikes (4,4).
+	// Phase 3 — lightning strikes (4,4). The fire is now lethal: every
+	// cell's mote is destroyed burnout after the cell ignites, scripted
+	// as world events from the (deterministic) spread model.
 	ignited := nw.Now()
 	fire.Ignite(agilla.Loc(4, 4), ignited)
-	fmt.Println("fire ignited at (4,4)")
+	var doomed []agilla.WorldEvent
+	for _, loc := range nw.Locations() {
+		if at, ok := fire.IgnitionTime(loc); ok {
+			doomed = append(doomed, agilla.KillAt(at+burnout, loc))
+		}
+	}
+	nw.Script(doomed...)
+	fmt.Println("fire ignited at (4,4) — burning motes are destroyed after 30s")
 
 	// Phase 4 — the detector routs <"fir",(4,4)> to the base; the
 	// tracker reacts, clones to the fire, and recruits neighbors. The
@@ -88,19 +132,24 @@ func main() {
 	}
 	fmt.Printf("alert %v reached the base %.1fs after ignition\n", <-alerts, (nw.Now() - ignited).Seconds())
 
-	// Give the swarm a minute, then draw the map.
-	if err := nw.Run(60 * time.Second); err != nil {
+	// Give the swarm 80 seconds — long enough for the first motes to
+	// burn out and die — then draw the map.
+	if err := nw.Run(80 * time.Second); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nnetwork map at t+%.0fs   (# burning, T tracker, d detector, . idle)\n",
+	fmt.Printf("\nnetwork map at t+%.0fs   (# burning, X dead mote, T tracker, d detector, . idle)\n",
 		(nw.Now() - ignited).Seconds())
 	trk := agilla.Tmpl(agilla.Str("trk"))
-	trackers := 0
+	trackers, dead := 0, 0
 	for y := height; y >= 1; y-- {
 		var row strings.Builder
 		for x := 1; x <= width; x++ {
 			loc := agilla.Loc(int16(x), int16(y))
+			life, _ := nw.Life(loc)
 			switch {
+			case life == agilla.NodeDown:
+				row.WriteString(" X")
+				dead++
 			case fire.Burning(loc, nw.Now()):
 				row.WriteString(" #")
 			case nw.Space(loc).Count(trk) > 0:
@@ -114,5 +163,20 @@ func main() {
 		}
 		fmt.Println(row.String())
 	}
-	fmt.Printf("\n%d motes host trackers; the swarm re-forms as the fire grows\n", trackers)
+	fmt.Printf("\n%d motes destroyed by the fire; %d surviving motes host trackers\n", dead, trackers)
+
+	// The paper's punchline, checkable on the agent handle: the guard
+	// was hosted on a mote the fire has since destroyed, sensed the
+	// flames coming, and moved out — the agent outlived its host.
+	homeLife, _ := nw.Life(guardHome)
+	switch {
+	case guard.Alive() && homeLife == agilla.NodeDown && guard.Location() != guardHome:
+		fmt.Printf("guard agent %d escaped: host %v is dead, agent alive at %v (%d hops)\n",
+			guard.ID(), guardHome, guard.Location(), guard.Hops())
+	case !guard.Alive():
+		log.Fatalf("guard died: %v", guard.Err())
+	default:
+		log.Fatalf("guard at %v, home %v life %v — the escape did not happen as scripted",
+			guard.Location(), guardHome, homeLife)
+	}
 }

@@ -52,6 +52,9 @@ const (
 	// DefaultMigRecvOverhead models allocating and reassembling the agent
 	// on the receiver before it resumes.
 	DefaultMigRecvOverhead = 70 * time.Millisecond
+	// DefaultBootDelay models a recovering mote's TinyOS boot: power-on
+	// to first radio activity.
+	DefaultBootDelay = 500 * time.Millisecond
 )
 
 // Config tunes one node. The zero value selects the paper's defaults.
@@ -85,6 +88,10 @@ type Config struct {
 	// packing and unpacking a migrating agent.
 	MigSendOverhead time.Duration
 	MigRecvOverhead time.Duration
+
+	// BootDelay is how long a recovering mote takes from power-on until
+	// it is back on the air (0 = DefaultBootDelay).
+	BootDelay time.Duration
 
 	// EndToEndMigration switches the migration protocol to the end-to-end
 	// variant the paper tried and abandoned (§3.2: "We tried using
@@ -129,6 +136,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MigRecvOverhead <= 0 {
 		c.MigRecvOverhead = DefaultMigRecvOverhead
+	}
+	if c.BootDelay <= 0 {
+		c.BootDelay = DefaultBootDelay
 	}
 	return c
 }

@@ -23,6 +23,9 @@ import (
 // injection resumes the agent on this node with condition zero, per the
 // standard migration failure semantics.
 func (n *Node) InjectAgent(code []byte, dest topology.Location) (uint16, error) {
+	if n.life != NodeUp {
+		return 0, fmt.Errorf("%w: %v", ErrNodeDown, n.loc)
+	}
 	if dest == n.loc {
 		return n.CreateAgent(code)
 	}
@@ -93,6 +96,7 @@ type Deployment struct {
 	spec    DeploymentSpec
 	workers int
 	tracker *agentTracker
+	world   WorldStats
 }
 
 // DeploymentSpec assembles a Deployment from a layout.
@@ -114,6 +118,9 @@ type DeploymentSpec struct {
 	Topo topology.Topology
 	// Field drives sensor readings (nil: all sensors read 0).
 	Field sensor.Field
+	// Energy attaches a battery with the given model to every mote (the
+	// base station is mains powered). Nil disables energy accounting.
+	Energy *EnergyModel
 	// Workers selects the simulation executor: values above 1 run the
 	// deployment on that many spatial shards executing in parallel,
 	// windowed by the radio's minimum frame delay; 0 or 1 keeps the
@@ -182,7 +189,9 @@ func NewDeployment(spec DeploymentSpec) (*Deployment, error) {
 	if spec.Radio != nil {
 		params = *spec.Radio
 	}
-	var topo topology.Topology = topology.WithBase{
+	// The base bridge is a pointer so a moving gateway can carry the
+	// bridge with it (Medium.Move rekeys via topology.Movable).
+	var topo topology.Topology = &topology.WithBase{
 		Inner:   spec.Layout.Links,
 		Base:    baseLoc,
 		Gateway: spec.Layout.Gateway,
@@ -260,6 +269,9 @@ func NewDeployment(spec DeploymentSpec) (*Deployment, error) {
 			return nil, fmt.Errorf("core: node %v: %w", loc, err)
 		}
 		n.tracker = d.tracker
+		if spec.Energy != nil {
+			n.SetEnergy(*spec.Energy)
+		}
 		d.nodes[loc] = n
 		idx++
 	}
@@ -370,6 +382,8 @@ func (d *Deployment) TotalStats() NodeStats {
 		t.RemoteOK += s.RemoteOK
 		t.RemoteFail += s.RemoteFail
 		t.ReactionsFired += s.ReactionsFired
+		t.FramesMissed += s.FramesMissed
+		t.EnergyDeaths += s.EnergyDeaths
 	}
 	return t
 }

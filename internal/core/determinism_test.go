@@ -81,6 +81,20 @@ func (r *traceRecorder) install(d *Deployment) {
 	tr.ReactionFired = func(node topology.Location, id uint16, t tuplespace.Tuple) {
 		r.add(now(node), node, "rxn %d %v", id, t)
 	}
+	tr.NodeDied = func(node topology.Location, cause DownCause) {
+		r.add(now(node), node, "node-died %v", cause)
+	}
+	tr.NodeRecovered = func(node topology.Location) {
+		r.add(now(node), node, "node-recovered")
+	}
+	tr.NodeMoved = func(from, to topology.Location) {
+		// Attribute the move to the vacated location so the line lands in
+		// the same per-node lane under both executors.
+		r.add(now(to), from, "node-moved -> %v", to)
+	}
+	tr.EnergyExhausted = func(node topology.Location, usedJ float64) {
+		r.add(now(node), node, "energy-exhausted %.9f", usedJ)
+	}
 }
 
 // hash renders the trace sorted by (time, node, per-node seq) and digests
@@ -216,6 +230,100 @@ func TestParallelExecutorMatchesSequentialTrace(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// runWorldDeterminismWorkload drives the full dynamic-world feature set —
+// scripted kills, a revival, a cross-shard move (strips partition by X,
+// so relocating a column-1 mote to column 6 crosses every strip
+// boundary), battery drain with energy deaths, plus the usual migration
+// and remote traffic — and returns the trace hash and counters.
+func runWorldDeterminismWorkload(t *testing.T, seed int64, workers int) (uint64, int, NodeStats, Stats2, WorldStats) {
+	t.Helper()
+	energy := DefaultEnergyModel()
+	energy.CapacityJ = 0.02 // some motes die of exhaustion inside the run
+	d, err := NewDeployment(DeploymentSpec{
+		Layout:  topology.GridLayout(5, 5),
+		Seed:    seed,
+		Workers: workers,
+		Energy:  &energy,
+	})
+	if err != nil {
+		t.Fatalf("deployment: %v", err)
+	}
+	rec := newTraceRecorder()
+	rec.install(d)
+
+	if err := d.WarmUp(); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	start := d.Sim.Now()
+
+	// Workload: a round-tripper crossing the move/death region, a remote
+	// rout, and a reactor mid-grid.
+	locs := d.Locations()
+	far := locs[len(locs)-1]
+	mid := locs[len(locs)/2]
+	if _, err := d.Base.InjectAgent(asm.MustAssemble(agents.SmoveRoundTripSrc(far, d.Base.Loc())), locs[0]); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	if _, err := d.Base.InjectAgent(asm.MustAssemble(agents.RoutSrc(mid)), locs[0]); err != nil {
+		t.Fatalf("inject rout: %v", err)
+	}
+	if n := d.Node(mid); n != nil {
+		if _, err := n.CreateAgent(asm.MustAssemble(reactorSrc)); err != nil {
+			t.Fatalf("reactor: %v", err)
+		}
+	}
+
+	// The world schedule: kill + revive + a cross-shard move, overlapping
+	// the agent traffic. Times are offsets from warm-up end.
+	d.KillAt(start+2*time.Second, topology.Loc(3, 3))
+	d.KillAt(start+3*time.Second, topology.Loc(4, 1))
+	d.ReviveAt(start+9*time.Second, topology.Loc(3, 3))
+	d.MoveAt(start+5*time.Second, topology.Loc(1, 2), topology.Loc(6, 3))
+	d.MoveAt(start+12*time.Second, topology.Loc(6, 3), topology.Loc(1, 2))
+
+	if err := d.Sim.Run(start + 20*time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	h, n := rec.hash()
+	return h, n, d.TotalStats(), Stats2{Medium: d.Medium.Stats(), Now: d.Sim.Now(), Events: d.Sim.Executed()}, d.WorldStats()
+}
+
+// TestWorldDynamicsDeterministic is the acceptance gate for the dynamic
+// world subsystem: with a scripted kill + revive + cross-shard move
+// schedule and the energy model active, 1-worker and N-worker runs
+// produce identical middleware trace hashes, counters, and executor
+// state.
+func TestWorldDynamicsDeterministic(t *testing.T) {
+	for _, seed := range []int64{5, 23} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			wantHash, wantLen, wantStats, wantExec, wantWorld := runWorldDeterminismWorkload(t, seed, 1)
+			if wantLen == 0 {
+				t.Fatal("sequential run produced no trace events")
+			}
+			if wantWorld.Kills != 2 || wantWorld.Revives != 1 || wantWorld.Moves != 2 {
+				t.Fatalf("world schedule did not apply: %+v", wantWorld)
+			}
+			for _, workers := range []int{2, 4} {
+				gotHash, gotLen, gotStats, gotExec, gotWorld := runWorldDeterminismWorkload(t, seed, workers)
+				if gotLen != wantLen || gotHash != wantHash {
+					t.Errorf("workers=%d: trace hash %016x (%d events), want %016x (%d events)",
+						workers, gotHash, gotLen, wantHash, wantLen)
+				}
+				if gotStats != wantStats {
+					t.Errorf("workers=%d: stats %+v, want %+v", workers, gotStats, wantStats)
+				}
+				if gotExec.String() != wantExec.String() {
+					t.Errorf("workers=%d: executor state %v, want %v", workers, gotExec, wantExec)
+				}
+				if gotWorld != wantWorld {
+					t.Errorf("workers=%d: world stats %+v, want %+v", workers, gotWorld, wantWorld)
+				}
+			}
+		})
 	}
 }
 

@@ -43,7 +43,7 @@ func (n *Node) rotateHead() {
 
 // pump schedules an engine step if one is not already pending.
 func (n *Node) pump() {
-	if n.busy || n.stopped || len(n.runQueue) == 0 {
+	if n.busy || n.life != NodeUp || len(n.runQueue) == 0 {
 		return
 	}
 	n.busy = true
@@ -54,7 +54,7 @@ func (n *Node) pump() {
 // run queue, then reschedules itself after the instruction's latency.
 func (n *Node) engineStep() {
 	n.busy = false
-	if n.stopped {
+	if n.life != NodeUp {
 		return
 	}
 	// Skip agents that stopped being runnable while queued.
@@ -80,9 +80,18 @@ func (n *Node) engineStep() {
 	}
 
 	out := vm.Step(rec.agent, n)
+	if n.life != NodeUp {
+		return // a host call inside the instruction (sense) emptied the battery
+	}
 	n.stats.InstrExecuted++
 	if n.trace != nil && n.trace.InstrExecuted != nil {
 		n.trace.InstrExecuted(n.loc, rec.agent.ID, out.Op)
+	}
+	if n.bat != nil {
+		n.charge(n.bat.instr)
+		if n.life != NodeUp {
+			return // this instruction emptied the battery; its effect is lost
+		}
 	}
 
 	n.applyEffect(rec, out)

@@ -118,7 +118,10 @@ type Node struct {
 	stats   NodeStats
 	trace   *Trace
 	tracker *agentTracker // deployment-wide agent registry; nil for bare nodes
-	stopped bool
+
+	life   LifeState // up / down / recovering (see world.go)
+	bat    *battery  // nil when the deployment has no energy model
+	batGen int       // invalidates stale battery tick chains
 }
 
 // NewNode builds a mote at loc, attaches it to the medium, and seeds its
@@ -159,19 +162,19 @@ func NewNode(s *sim.Ctx, medium *radio.Medium, loc topology.Location, nodeIndex 
 	return n, nil
 }
 
-// Start begins beaconing. Call after all nodes are constructed.
-func (n *Node) Start() { n.net.Start() }
-
-// Stop silences the node (a dead mote): detaches the radio and halts
-// beacons. Hosted agents are not reclaimed — they die with the node.
-// Under a parallel executor, call Stop only while the executor is paused
-// (between Run calls): detaching mutates medium state other shards read
-// without locks.
-func (n *Node) Stop() {
-	n.stopped = true
-	n.net.Stop()
-	n.medium.Detach(n.loc)
+// Start begins beaconing (and, with an energy model, the idle-drain
+// check). Call after all nodes are constructed.
+func (n *Node) Start() {
+	n.net.Start()
+	n.startBatteryTick()
 }
+
+// Stop silences the node: the mote dies exactly as a scripted kill would
+// (radio deaf, beacons stopped, hosted agents die with it, volatile state
+// lost). It is safe at any time under either executor — deaths are
+// node-local. Revive with Recover, or schedule both with the
+// deployment's KillAt/ReviveAt.
+func (n *Node) Stop() { n.Crash(CauseKilled) }
 
 // Loc returns the node's location (which is its address, §2.2).
 func (n *Node) Loc() topology.Location { return n.loc }
@@ -272,6 +275,9 @@ func (n *Node) seedContextTuples() {
 // locally. It charges instruction memory and an agent slot, inserts the
 // arrival context tuple, and schedules the agent to run.
 func (n *Node) CreateAgent(code []byte) (uint16, error) {
+	if n.life != NodeUp {
+		return 0, fmt.Errorf("%w: %v", ErrNodeDown, n.loc)
+	}
 	if len(n.agents)+n.reserve >= n.cfg.MaxAgents {
 		return 0, fmt.Errorf("%w: %d hosted", ErrAgentLimit, len(n.agents))
 	}
@@ -349,10 +355,25 @@ func (n *Node) onTupleInserted(t tuplespace.Tuple) {
 	}
 }
 
-// ReceiveFrame implements radio.Receiver.
+// ReceiveFrame implements radio.Receiver. A down or booting mote's radio
+// is off: in-flight frames to it are lost at delivery — the deterministic
+// resolution rule for traffic racing a death. A unicast frame addressed
+// to a location the mote has since vacated is likewise lost (nobody is
+// there to hear it); in-flight broadcasts are still heard at the new
+// position.
 func (n *Node) ReceiveFrame(f radio.Frame) {
-	if n.stopped {
+	if n.life != NodeUp || (!f.IsBroadcast() && f.Dst != n.loc) {
+		n.stats.FramesMissed++
 		return
+	}
+	if n.bat != nil {
+		n.charge(n.bat.recvFixed + uint64(len(f.Payload))*n.bat.recvByte)
+		if n.life != NodeUp {
+			// Receiving this frame emptied the battery: it is lost like
+			// any other delivery to a dead mote.
+			n.stats.FramesMissed++
+			return
+		}
 	}
 	n.net.HandleFrame(f)
 }
@@ -404,6 +425,9 @@ func (n *Node) Neighbor(i int) (topology.Location, bool) {
 func (n *Node) Sense(s tuplespace.SensorType) (int16, bool) {
 	if n.board == nil {
 		return 0, false
+	}
+	if n.bat != nil {
+		n.charge(n.bat.sense)
 	}
 	return n.board.Sense(s, n.sim.Now())
 }

@@ -36,6 +36,21 @@ type Trace struct {
 	ReactionFired func(node topology.Location, id uint16, t tuplespace.Tuple)
 	// InstrExecuted fires after every instruction.
 	InstrExecuted func(node topology.Location, id uint16, op vm.Op)
+
+	// NodeDied fires when a mote goes down — a scripted kill, the host
+	// API, or battery exhaustion (see cause). Hosted agents report their
+	// own AgentDied (with ErrNodeDown) first.
+	NodeDied func(node topology.Location, cause DownCause)
+	// NodeRecovered fires when a dead mote finishes booting and is back
+	// on the air.
+	NodeRecovered func(node topology.Location)
+	// NodeMoved fires when a mote relocates; from is the vacated
+	// location.
+	NodeMoved func(from, to topology.Location)
+	// EnergyExhausted fires at the instant a battery empties, just before
+	// the NodeDied it causes. usedJ is the emptied battery's drain in
+	// joules (the current cells only — a revived mote starts fresh).
+	EnergyExhausted func(node topology.Location, usedJ float64)
 }
 
 // NodeStats counts per-node middleware activity.
@@ -51,4 +66,10 @@ type NodeStats struct {
 	RemoteOK        uint64
 	RemoteFail      uint64
 	ReactionsFired  uint64
+	// FramesMissed counts frames that reached the antenna of a mote that
+	// was down, booting, or no longer at the frame's destination.
+	FramesMissed uint64
+	// EnergyDeaths counts battery exhaustions (each also increments the
+	// deployment's NodeDied accounting via the world counters).
+	EnergyDeaths uint64
 }

@@ -139,6 +139,14 @@ func (t *agentTracker) hopDone(now time.Duration, node topology.Location, id uin
 	info.State = AgentReady
 }
 
+// rehome updates the recorded location of an agent riding a moved node:
+// the mote relocated with the agent aboard, so the handle must follow.
+func (t *agentTracker) rehome(now time.Duration, to topology.Location, id uint16) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensure(id, now).Loc = to
+}
+
 // cloned records a clone instantiation, attributing it to the parent.
 // The clone's ID is freshly minted, so a dead record under it is a
 // previous lifetime of a wrapped ID.

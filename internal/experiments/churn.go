@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/agilla-go/agilla/internal/agents"
+	"github.com/agilla-go/agilla/internal/asm"
+	"github.com/agilla-go/agilla/internal/core"
+	"github.com/agilla-go/agilla/internal/topology"
+)
+
+// The churn experiment exercises the dynamic-world subsystem end to end:
+// square grids under a scripted kill/revive/move schedule with the energy
+// model active, every mote running a sensing loop and a few agents
+// commuting across the failure region. For each configuration it reports
+// the world census (kills, revives, moves, energy deaths), how the agent
+// population fared, and a state hash over every node's final counters —
+// byte-identical across worker counts by the determinism guarantee, which
+// is what the CI smoke job asserts. The wall-clock columns benchmark the
+// kernel under churn.
+
+// ChurnRow is one (grid, workers) measurement. All fields except the
+// wall-clock ones are deterministic per seed and identical across worker
+// counts.
+type ChurnRow struct {
+	Scenario     string  `json:"scenario"`
+	Nodes        int     `json:"nodes"`
+	Workers      int     `json:"workers"`
+	Events       uint64  `json:"events"`
+	Kills        uint64  `json:"kills"`
+	Revives      uint64  `json:"revives"`
+	Moves        uint64  `json:"moves"`
+	EnergyDeaths uint64  `json:"energy_deaths"`
+	AgentsDied   uint64  `json:"agents_died"`
+	MigFails     uint64  `json:"migration_fails"`
+	FramesMissed uint64  `json:"frames_missed"`
+	EnergyUsedJ  float64 `json:"energy_used_j"`
+	Hash         string  `json:"hash"`
+	VirtualSecs  float64 `json:"virtual_secs"`
+	WallSecs     float64 `json:"wall_secs"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// ChurnResult is the full sweep.
+type ChurnResult struct {
+	Rows []ChurnRow
+}
+
+// JSON renders the rows as the machine-readable BENCH_churn.json schema.
+func (r *ChurnResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Rows, "", "  ")
+}
+
+func (r *ChurnResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Dynamic world: agent and kernel behavior under churn + mobility + energy\n")
+	fmt.Fprintf(&b, "%-12s %7s %8s %10s %5s %7s %5s %7s %9s %8s %8s  %s\n",
+		"scenario", "nodes", "workers", "events", "kill", "revive", "move", "enrgy†", "agt-died", "migfail", "wall(s)", "hash")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %7d %8d %10d %5d %7d %5d %7d %9d %8d %8.2f  %s\n",
+			row.Scenario, row.Nodes, row.Workers, row.Events,
+			row.Kills, row.Revives, row.Moves, row.EnergyDeaths,
+			row.AgentsDied, row.MigFails, row.WallSecs, row.Hash)
+	}
+	b.WriteString("† battery exhaustions. Deterministic columns (everything but wall) must not vary with workers.")
+	return b.String()
+}
+
+// Churn runs the dynamic-world sweep: for each grid size, one run per
+// worker count in {1, 2, 4, ...} up to cfg.Workers.
+func Churn(cfg Config) (*ChurnResult, error) {
+	cfg = cfg.withDefaults()
+	sizes := []int{6, 10}
+	virtual := 40 * time.Second
+	if cfg.Quick {
+		sizes = []int{6}
+		virtual = 15 * time.Second
+	}
+	workers := []int{1}
+	for w := 2; w <= cfg.Workers; w *= 2 {
+		workers = append(workers, w)
+	}
+	if last := workers[len(workers)-1]; last != cfg.Workers && cfg.Workers > 1 {
+		workers = append(workers, cfg.Workers)
+	}
+
+	res := &ChurnResult{}
+	for _, g := range sizes {
+		var baseline float64
+		for _, w := range workers {
+			row, err := churnRun(g, w, virtual, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("churn %dx%d workers=%d: %w", g, g, w, err)
+			}
+			if w == 1 {
+				baseline = row.EventsPerSec
+			}
+			if baseline > 0 {
+				row.Speedup = row.EventsPerSec / baseline
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// churnRun executes one grid at one worker count under the scripted
+// world schedule.
+func churnRun(g, workers int, virtual time.Duration, seed int64) (ChurnRow, error) {
+	energy := core.DefaultEnergyModel()
+	// A steadily beaconing, sensing mote drains roughly 0.5 mJ/s under
+	// this workload; size the battery so exhaustion lands around three
+	// quarters of the run, whatever its length.
+	energy.CapacityJ = 4e-4 * virtual.Seconds()
+	d, err := core.NewDeployment(core.DeploymentSpec{
+		Layout:  topology.GridLayout(g, g),
+		Seed:    seed,
+		Workers: workers,
+		Energy:  &energy,
+	})
+	if err != nil {
+		return ChurnRow{}, err
+	}
+	// One sensing loop per mote plus commuters crossing the churn region.
+	code := agents.Monitor(2)
+	for _, n := range d.Motes() {
+		if _, err := n.CreateAgent(code); err != nil {
+			return ChurnRow{}, err
+		}
+	}
+	far := topology.Loc(int16(g), int16(g))
+	commuter := asm.MustAssemble(agents.SmoveRoundTripSrc(far, topology.Loc(1, 1)))
+	if _, err := d.Base.InjectAgent(commuter, topology.Loc(1, 1)); err != nil {
+		return ChurnRow{}, err
+	}
+
+	// The deterministic world schedule: kill a diagonal band mid-run,
+	// revive half of it, and bounce one mote across the strip partition
+	// (column 1 -> off-grid column g+1 and back).
+	mid := virtual / 2
+	for i := 1; i <= g; i += 2 {
+		d.KillAt(mid, topology.Loc(int16(i), int16((i%g)+1)))
+	}
+	for i := 1; i <= g; i += 4 {
+		d.ReviveAt(mid+virtual/4, topology.Loc(int16(i), int16((i%g)+1)))
+	}
+	d.MoveAt(virtual/4, topology.Loc(1, int16(g/2)), topology.Loc(int16(g+1), int16(g/2)))
+	d.MoveAt(3*virtual/4, topology.Loc(int16(g+1), int16(g/2)), topology.Loc(1, int16(g/2)))
+
+	d.Start()
+	start := time.Now()
+	if err := d.Sim.Run(virtual); err != nil {
+		return ChurnRow{}, err
+	}
+	wall := time.Since(start).Seconds()
+
+	stats := d.TotalStats()
+	world := d.WorldStats()
+	row := ChurnRow{
+		Scenario:     fmt.Sprintf("grid %dx%d", g, g),
+		Nodes:        g * g,
+		Workers:      d.Workers(),
+		Events:       d.Sim.Executed(),
+		Kills:        world.Kills,
+		Revives:      world.Revives,
+		Moves:        world.Moves,
+		EnergyDeaths: stats.EnergyDeaths,
+		AgentsDied:   stats.AgentsDied,
+		MigFails:     stats.MigrationsFail,
+		FramesMissed: stats.FramesMissed,
+		EnergyUsedJ:  d.EnergyUsedJ(),
+		Hash:         fmt.Sprintf("%016x", scaleHash(d)),
+		VirtualSecs:  virtual.Seconds(),
+		WallSecs:     wall,
+	}
+	if wall > 0 {
+		row.EventsPerSec = float64(row.Events) / wall
+	}
+	return row, nil
+}

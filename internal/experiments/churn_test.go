@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestChurnDeterministicAcrossWorkers runs the quick churn sweep at 1 and
+// 2 workers and requires every deterministic column identical — the same
+// property the CI smoke job asserts over the JSON artifacts.
+func TestChurnDeterministicAcrossWorkers(t *testing.T) {
+	res, err := Churn(Config{Seed: 7, Quick: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("expected rows for workers 1 and 2, got %d", len(res.Rows))
+	}
+	det := func(r ChurnRow) ChurnRow {
+		r.Workers, r.WallSecs, r.EventsPerSec, r.Speedup = 0, 0, 0, 0
+		return r
+	}
+	base := res.Rows[0]
+	if base.Kills == 0 || base.Moves == 0 {
+		t.Fatalf("world schedule did not apply: %+v", base)
+	}
+	if base.EnergyDeaths == 0 {
+		t.Fatalf("energy model never exhausted a battery: %+v", base)
+	}
+	for _, row := range res.Rows[1:] {
+		if row.Scenario != base.Scenario {
+			continue
+		}
+		if det(row) != det(base) {
+			t.Errorf("workers=%d diverged:\n got %+v\nwant %+v", row.Workers, det(row), det(base))
+		}
+	}
+	if s := res.String(); !strings.Contains(s, "grid 6x6") {
+		t.Errorf("String() missing scenario: %q", s)
+	}
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []ChurnRow
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if len(back) != len(res.Rows) {
+		t.Fatalf("JSON rows = %d, want %d", len(back), len(res.Rows))
+	}
+}

@@ -96,6 +96,9 @@ func (a *AcquaintanceList) Contains(loc topology.Location) bool {
 	return ok
 }
 
+// Clear drops every entry (the mote rebooted; its RAM is empty).
+func (a *AcquaintanceList) Clear() { clear(a.entries) }
+
 // Config tunes the stack. Zero fields select defaults.
 type Config struct {
 	// BeaconEvery is the neighbor-discovery beacon period.
@@ -153,7 +156,8 @@ type Stack struct {
 
 	started bool
 	stopped bool
-	tickFn  func() // beaconTick as a value, allocated once
+	gen     int    // bumped per Start; orphans stale beacon chains
+	tickFn  func() // beaconTick as a value, allocated once per Start
 
 	// DeliverRouted receives envelope payloads whose final destination is
 	// this node (remote tuple space requests and replies).
@@ -163,6 +167,12 @@ type Stack struct {
 	DeliverDirect func(f radio.Frame)
 	// NumAgents supplies the beacon's co-located agent count.
 	NumAgents func() int
+	// OnSend, when set, observes every frame this stack offers to the
+	// medium (beacons, direct frames, forwarded envelopes) with its
+	// payload size. The energy model charges transmission costs here. If
+	// the callback takes the node down (battery exhaustion), the frame is
+	// not transmitted.
+	OnSend func(payloadBytes int)
 }
 
 // NewStack attaches a network layer for a node at self. The context must
@@ -182,6 +192,12 @@ func NewStack(s *sim.Ctx, medium *radio.Medium, self topology.Location, cfg Conf
 // Self returns this node's location.
 func (st *Stack) Self() topology.Location { return st.self }
 
+// SetSelf rebinds the stack to a new location (the mote moved). Future
+// frames originate from the new address; the acquaintance list is kept
+// and expires naturally, so routing may briefly chase stale geometry,
+// exactly as a physical deployment would after a move.
+func (st *Stack) SetSelf(loc topology.Location) { st.self = loc }
+
 // Acquaintances returns the neighbor table.
 func (st *Stack) Acquaintances() *AcquaintanceList { return st.acq }
 
@@ -189,13 +205,21 @@ func (st *Stack) Acquaintances() *AcquaintanceList { return st.acq }
 func (st *Stack) Stats() Stats { return st.stats }
 
 // Start begins periodic beaconing. The first beacon goes out after a random
-// fraction of the period so co-deployed nodes do not synchronize.
+// fraction of the period so co-deployed nodes do not synchronize. A
+// stopped stack can Start again (the mote recovered): the acquaintance
+// list is cleared — boot RAM is empty — and a fresh beacon chain begins;
+// any stale chain from the previous life is orphaned by generation.
 func (st *Stack) Start() {
-	if st.started {
+	if st.started && !st.stopped {
 		return
 	}
-	st.started = true
-	st.tickFn = st.beaconTick
+	if st.stopped {
+		st.acq.Clear()
+	}
+	st.started, st.stopped = true, false
+	st.gen++
+	gen := st.gen
+	st.tickFn = func() { st.beaconTick(gen) }
 	offset := time.Duration(st.sim.Rand().Int63n(int64(st.cfg.BeaconEvery)))
 	st.sim.Schedule(offset, st.tickFn)
 }
@@ -203,13 +227,28 @@ func (st *Stack) Start() {
 // Stop halts future beacons (the mote died).
 func (st *Stack) Stop() { st.stopped = true }
 
-func (st *Stack) beaconTick() {
-	if st.stopped {
+func (st *Stack) beaconTick(gen int) {
+	if st.stopped || gen != st.gen {
 		return
 	}
 	st.SendBeacon()
 	st.acq.Expire(st.sim.Now())
 	st.sim.Schedule(st.cfg.BeaconEvery, st.tickFn)
+}
+
+// transmit offers one frame to the medium, charging the energy model
+// first, and reports whether the frame actually went out. A transmission
+// whose energy cost kills the node is lost: the mote browned out keying
+// the radio.
+func (st *Stack) transmit(f radio.Frame) bool {
+	if st.OnSend != nil {
+		st.OnSend(len(f.Payload))
+		if st.stopped {
+			return false
+		}
+	}
+	st.medium.Send(f)
+	return true
 }
 
 // SendBeacon broadcasts one neighbor-discovery beacon immediately.
@@ -221,13 +260,14 @@ func (st *Stack) SendBeacon() {
 	if n > 255 {
 		n = 255
 	}
-	st.stats.BeaconsSent++
-	st.medium.Send(radio.Frame{
+	if st.transmit(radio.Frame{
 		Src:     st.self,
 		Dst:     radio.Broadcast,
 		Kind:    radio.KindBeacon,
 		Payload: wire.Beacon{NumAgents: uint8(n)}.Encode(),
-	})
+	}) {
+		st.stats.BeaconsSent++
+	}
 }
 
 // HandleFrame is the radio receive path; core wires the mote's
@@ -256,8 +296,9 @@ func (st *Stack) HandleFrame(f radio.Frame) {
 // SendDirect transmits a one-hop frame to a direct neighbor. The migration
 // protocol uses this and supplies its own acknowledgments.
 func (st *Stack) SendDirect(to topology.Location, kind uint8, payload []byte) {
-	st.stats.DirectFrames++
-	st.medium.Send(radio.Frame{Src: st.self, Dst: to, Kind: kind, Payload: payload})
+	if st.transmit(radio.Frame{Src: st.self, Dst: to, Kind: kind, Payload: payload}) {
+		st.stats.DirectFrames++
+	}
 }
 
 // ErrNoRoute is returned when greedy forwarding cannot make progress.
@@ -304,7 +345,9 @@ func (st *Stack) forward(kind uint8, env wire.Envelope) error {
 		st.stats.RouteStalls++
 		return fmt.Errorf("%w: %v -> %v", ErrNoRoute, st.self, env.Dst)
 	}
-	st.medium.Send(radio.Frame{Src: st.self, Dst: hop, Kind: kind, Payload: env.Encode()})
+	if !st.transmit(radio.Frame{Src: st.self, Dst: hop, Kind: kind, Payload: env.Encode()}) {
+		return fmt.Errorf("network: transmitter browned out forwarding %v -> %v", st.self, env.Dst)
+	}
 	return nil
 }
 

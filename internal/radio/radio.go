@@ -182,9 +182,15 @@ type mediumShard struct {
 	stats Stats
 	links map[link]*linkState
 	// nbrs caches, per source, the connected attached locations in (Y,X)
-	// order — the broadcast fan-out list. Entries are invalidated when a
-	// new location attaches; detached receivers are skipped at delivery.
-	nbrs map[topology.Location][]topology.Location
+	// order — the broadcast fan-out list. epoch is the medium version the
+	// cache was built against: topology mutations (attach, move) bump the
+	// medium version instead of touching every shard's cache, and each
+	// shard drops its own cache lazily on the next send — the incremental
+	// invalidation that lets world events stay O(1) in the shard count.
+	// Detached/dead receivers need no invalidation at all: delivery skips
+	// them.
+	nbrs  map[topology.Location][]topology.Location
+	epoch uint64
 }
 
 // Medium is the shared channel. Construct with NewMedium. Attach and
@@ -197,6 +203,11 @@ type Medium struct {
 	random bool
 	att    map[topology.Location]*attachment
 	sh     []mediumShard
+	// version counts topology mutations (attaches, moves). It is written
+	// only while no event is executing — at construction, between runs,
+	// or from a world event at an executor barrier — and read by sends to
+	// validate per-shard fan-out caches.
+	version uint64
 
 	// Trace, when non-nil, observes every send attempt outcome. Used by
 	// the experiment harness to measure delivery without instrumenting
@@ -258,11 +269,9 @@ func (m *Medium) Attach(loc topology.Location, r Receiver) error {
 	}
 	m.att[loc] = &attachment{r: r, ctx: m.ex.Context(sim.Key2D(loc.X, loc.Y))}
 	// A brand-new location invalidates every cached fan-out list that
-	// should now include it. Cheap at build time, where the caches are
-	// still empty.
-	for i := range m.sh {
-		clear(m.sh[i].nbrs)
-	}
+	// should now include it; bumping the version makes each shard drop
+	// its cache lazily.
+	m.version++
 	return nil
 }
 
@@ -273,6 +282,42 @@ func (m *Medium) Detach(loc topology.Location) {
 		a.r = nil
 	}
 }
+
+// Move rekeys the attachment at from to to: the mote carried its radio to
+// a new coordinate while staying on the air. The attachment keeps its
+// scheduling context (the node's ordering identity is its birth location),
+// the medium's topology is rekeyed when it is Movable (explicit link
+// sets; geometric topologies re-derive connectivity from the new
+// coordinates), and the version bump invalidates every shard's fan-out
+// cache lazily.
+//
+// Like Attach, Move may only be called while no ordinary event is
+// executing: from the host between runs, or from a world event
+// (sim.Executor.ScheduleWorldAt), which under a parallel executor runs at
+// a barrier with all shards synced to its timestamp.
+func (m *Medium) Move(from, to topology.Location) error {
+	if from == to {
+		return fmt.Errorf("radio: move from %v to itself", from)
+	}
+	a, ok := m.att[from]
+	if !ok || a.r == nil {
+		return fmt.Errorf("radio: no node attached at %v", from)
+	}
+	if b, ok := m.att[to]; ok && b.r != nil {
+		return fmt.Errorf("radio: %v is already occupied", to)
+	}
+	delete(m.att, from)
+	m.att[to] = a
+	if mv, ok := m.topo.(topology.Movable); ok {
+		mv.Rekey(from, to)
+	}
+	m.version++
+	return nil
+}
+
+// Version returns the medium's topology version: the number of structural
+// mutations (attaches, moves) applied so far.
+func (m *Medium) Version() uint64 { return m.version }
 
 // Locations returns all attached node locations (iteration order is not
 // deterministic; callers must sort if order matters).
@@ -301,6 +346,10 @@ func (m *Medium) ctxOf(loc topology.Location) *sim.Ctx {
 // — re-sorting the whole attachment table per beacon was the medium's
 // hottest path.
 func (m *Medium) neighbors(src topology.Location, sh *mediumShard) []topology.Location {
+	if sh.epoch != m.version {
+		clear(sh.nbrs)
+		sh.epoch = m.version
+	}
 	if nb, ok := sh.nbrs[src]; ok {
 		return nb
 	}

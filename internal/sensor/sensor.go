@@ -105,6 +105,10 @@ func DefaultSensors() []tuplespace.SensorType {
 // Has reports whether the board carries sensor s.
 func (b *Board) Has(s tuplespace.SensorType) bool { return b.sensors[s] }
 
+// MoveTo rebinds the board to a new location (the mote moved): future
+// samples read the field at the new position.
+func (b *Board) MoveTo(loc topology.Location) { b.loc = loc }
+
 // Types returns the sensors on the board in ascending type order.
 func (b *Board) Types() []tuplespace.SensorType {
 	var out []tuplespace.SensorType

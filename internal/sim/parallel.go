@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"container/heap"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -33,6 +34,17 @@ type Parallel struct {
 	window  time.Duration
 	shards  []*shard
 	shardOf func(ContextKey) int
+
+	// The world lane: events that mutate cross-shard state. They are kept
+	// out of the shard queues and executed on the driver goroutine at
+	// window barriers, with every shard synced exactly to the event's
+	// timestamp — see ScheduleWorldAt. worldQ is a heap ordered by
+	// (at, seq) (every entry carries WorldKey, so the shared eventQueue
+	// ordering reduces to exactly that).
+	worldQ    eventQueue
+	worldSeq  uint64
+	worldExec uint64
+	worldLast time.Duration
 
 	now     time.Duration
 	stopped atomic.Bool
@@ -93,24 +105,113 @@ func (p *Parallel) Context(key ContextKey) *Ctx {
 // Stop makes the current Run call return ErrStopped at the next barrier.
 func (p *Parallel) Stop() { p.stopped.Store(true) }
 
-// Executed returns the number of events fired so far. Call it from the
-// host between runs (worker counters are merged at barriers).
+// Executed returns the number of events fired so far (world events
+// included). Call it from the host between runs (worker counters are
+// merged at barriers).
 func (p *Parallel) Executed() uint64 {
-	var n uint64
+	n := p.worldExec
 	for _, sh := range p.shards {
 		n += sh.executed
 	}
 	return n
 }
 
-// Pending returns the number of live queued events across all shards and
-// mailboxes.
+// Pending returns the number of live queued events across all shards,
+// mailboxes, and the world lane.
 func (p *Parallel) Pending() int {
 	n := 0
 	for _, sh := range p.shards {
 		n += sh.pending()
 	}
+	for _, e := range p.worldQ {
+		if !e.cancel {
+			n++
+		}
+	}
 	return n
+}
+
+// ScheduleWorldAt schedules a world event at absolute time at (clamped to
+// the barrier clock). Call it from the host between runs or from another
+// world event, never from an ordinary event: the world queue is not
+// synchronized against workers.
+func (p *Parallel) ScheduleWorldAt(at time.Duration, fn func()) *Event {
+	if at < p.now {
+		at = p.now
+	}
+	e := &Event{at: at, src: WorldKey, seq: p.worldSeq, fn: fn, index: -1}
+	p.worldSeq++
+	heap.Push(&p.worldQ, e)
+	return e
+}
+
+// peekWorld returns the earliest live world event, discarding cancelled
+// ones.
+func (p *Parallel) peekWorld() *Event {
+	for len(p.worldQ) > 0 {
+		if p.worldQ[0].cancel {
+			heap.Pop(&p.worldQ)
+			continue
+		}
+		return p.worldQ[0]
+	}
+	return nil
+}
+
+// runWorld executes every world event scheduled for exactly time at, in
+// schedule order, including ones those events themselves add for at. The
+// caller guarantees all shards are parked with every node event at or
+// before at already executed. Every clock is synced to at first, so the
+// callbacks observe — and schedule against — exactly the time the
+// sequential executor would show them. Between consecutive world events
+// at the same instant, node events the callback spawned for that instant
+// are drained first: their context keys sort below WorldKey, so the
+// sequential executor runs them before the next world event, and the
+// schedules must agree. Returns ErrStopped when stopped mid-drain.
+func (p *Parallel) runWorld(at time.Duration) error {
+	p.settle(at)
+	for {
+		w := p.peekWorld()
+		if w == nil || w.at != at {
+			return nil
+		}
+		heap.Pop(&p.worldQ)
+		p.worldLast = at
+		p.worldExec++
+		w.fn()
+		if p.anyDue(at, true) {
+			if err := p.syncTo(at); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// anyDue reports whether any shard (queue or mailbox) has an event to run
+// before end (inclusive when closed).
+func (p *Parallel) anyDue(end time.Duration, closed bool) bool {
+	for _, sh := range p.shards {
+		sh.drain()
+		if sh.due(end, closed) {
+			return true
+		}
+	}
+	return false
+}
+
+// syncTo drives every shard to time end inclusive, looping until no
+// cross-shard arrival at or before end remains unexecuted. Afterwards the
+// whole deployment sits exactly at end — the precondition for running a
+// world event there. It returns ErrStopped when stopped.
+func (p *Parallel) syncTo(end time.Duration) error {
+	for {
+		if err := p.finishWindow(end, true); err != nil {
+			return err
+		}
+		if !p.anyDue(end, true) {
+			return nil
+		}
+	}
 }
 
 // earliest merges all mailboxes and returns the earliest pending event
@@ -184,14 +285,17 @@ func (p *Parallel) settle(t time.Duration) {
 }
 
 // rest returns the clock position for a run that drained the queue or was
-// stopped: the last executed event, like the sequential executor — but
-// never before the clock position the run began at.
+// stopped: the last executed event (node or world), like the sequential
+// executor — but never before the clock position the run began at.
 func (p *Parallel) rest(begin time.Duration) time.Duration {
 	t := begin
 	for _, sh := range p.shards {
 		if sh.lastAt > t {
 			t = sh.lastAt
 		}
+	}
+	if p.worldLast > t {
+		t = p.worldLast
 	}
 	return t
 }
@@ -207,8 +311,12 @@ func (p *Parallel) Run(until time.Duration) error {
 // runLoop is the window loop shared by Run and RunUntil: march
 // lookahead-width windows up to until, then run one closed pass for
 // events at exactly until (cross-shard arrivals at until were merged by
-// the barrier in between). When pred is non-nil it is evaluated at every
-// window barrier and ends the run once true.
+// the barrier in between). Windows are clipped at world-event times: the
+// deployment is synced exactly to the event's timestamp, the world
+// callback runs alone on the driver goroutine, and windowing resumes —
+// which is what makes cross-shard world mutations replay the sequential
+// schedule. When pred is non-nil it is evaluated at every window barrier
+// and ends the run once true.
 func (p *Parallel) runLoop(until time.Duration, pred func() bool) (bool, error) {
 	p.stopped.Store(false)
 	begin := p.now
@@ -218,13 +326,34 @@ func (p *Parallel) runLoop(until time.Duration, pred func() bool) (bool, error) 
 			return false, ErrStopped
 		}
 		t0, ok := p.earliest()
-		if !ok {
-			p.settle(p.rest(begin))
+		w := p.peekWorld()
+		worldDue := w != nil && w.at <= until
+		if !ok && !worldDue {
+			if w == nil {
+				// Fully idle: rest at the last executed event, as the
+				// sequential executor does.
+				p.settle(p.rest(begin))
+				return false, nil
+			}
+			p.settle(until) // world events remain beyond until
 			return false, nil
 		}
-		if t0 > until {
+		if ok && t0 > until && !worldDue {
 			p.settle(until)
 			return false, nil
+		}
+		// A world event with no node event before it: nothing to sync.
+		if worldDue && (!ok || w.at < t0) {
+			if err := p.runWorld(w.at); err != nil {
+				p.settle(p.rest(begin))
+				return false, err
+			}
+			p.now = w.at
+			if pred != nil && pred() {
+				p.settle(w.at)
+				return true, nil
+			}
+			continue
 		}
 		// Anchor the window at the earliest pending event, NOT at the
 		// cursor: after a dirty stop (Stop or a budget error escaping
@@ -235,8 +364,27 @@ func (p *Parallel) runLoop(until time.Duration, pred func() bool) (bool, error) 
 		// replay (clock regressing to the stale event) matches what the
 		// sequential executor does on resume. On clean paths t0 never
 		// trails the cursor, so this is the ordinary window start.
-		start := t0
-		if end := start + p.window; end < until {
+		end := t0 + p.window
+		if worldDue && w.at <= end {
+			// Clip at the world event: bring every shard exactly to its
+			// timestamp (node events at that instant sort before it), run
+			// it with all workers parked, resume windowing.
+			if err := p.syncTo(w.at); err != nil {
+				p.settle(p.rest(begin))
+				return false, err
+			}
+			if err := p.runWorld(w.at); err != nil {
+				p.settle(p.rest(begin))
+				return false, err
+			}
+			p.now = w.at
+			if pred != nil && pred() {
+				p.settle(w.at)
+				return true, nil
+			}
+			continue
+		}
+		if end < until {
 			if err := p.finishWindow(end, false); err != nil {
 				p.settle(p.rest(begin))
 				return false, err
@@ -248,18 +396,21 @@ func (p *Parallel) runLoop(until time.Duration, pred func() bool) (bool, error) 
 			}
 			continue
 		}
-		// Final stretch.
-		if err := p.finishWindow(until, false); err != nil {
-			p.settle(p.rest(begin))
-			return false, err
-		}
-		if err := p.finishWindow(until, true); err != nil {
+		// Final stretch: everything at or before until, arrivals at
+		// exactly until included.
+		if err := p.syncTo(until); err != nil {
 			p.settle(p.rest(begin))
 			return false, err
 		}
 		if p.stopped.Load() {
 			p.settle(p.rest(begin))
 			return false, ErrStopped
+		}
+		p.now = until
+		// A pred evaluated at an earlier barrier may have scheduled more
+		// world events at or before until; loop back for them.
+		if w := p.peekWorld(); w != nil && w.at <= until {
+			continue
 		}
 		if p.Pending() == 0 {
 			// The queue drained inside the final stretch: rest at the last
@@ -279,22 +430,41 @@ func (p *Parallel) RunUntilIdle(maxEvents uint64) error {
 	p.stopped.Store(false)
 	begin := p.now
 	start := p.Executed()
+	overBudget := func() bool { return maxEvents > 0 && p.Executed()-start >= maxEvents }
 	for {
 		if p.stopped.Load() {
 			p.settle(p.rest(begin))
 			return ErrStopped
 		}
 		t0, ok := p.earliest()
-		if !ok {
+		w := p.peekWorld()
+		if !ok && w == nil {
 			p.settle(p.rest(begin))
 			return nil
 		}
+		if !ok || (w != nil && w.at < t0) {
+			// A world event with no node event before it.
+			if err := p.runWorld(w.at); err != nil {
+				p.settle(p.rest(begin))
+				return err
+			}
+			p.now = w.at
+			if overBudget() {
+				p.settle(p.rest(begin))
+				return fmt.Errorf("sim: exceeded %d events without going idle", maxEvents)
+			}
+			continue
+		}
 		// Anchored at the earliest pending event for the same dirty-stop
-		// soundness reason as runLoop.
-		end := t0 + p.window
+		// soundness reason as runLoop. Clipped at the next world event,
+		// which runs at the barrier once every shard sits exactly on it.
+		end, closed, world := t0+p.window, false, false
+		if w != nil && w.at <= t0+p.window {
+			end, closed, world = w.at, true, true
+		}
 		for {
-			done := p.runWindow(end, false)
-			if maxEvents > 0 && p.Executed()-start >= maxEvents {
+			done := p.runWindow(end, closed)
+			if overBudget() {
 				p.settle(p.rest(begin))
 				return fmt.Errorf("sim: exceeded %d events without going idle", maxEvents)
 			}
@@ -302,8 +472,18 @@ func (p *Parallel) RunUntilIdle(maxEvents uint64) error {
 				p.settle(p.rest(begin))
 				return ErrStopped
 			}
-			if done {
+			if done && (!closed || !p.anyDue(end, true)) {
 				break
+			}
+		}
+		if world {
+			if err := p.runWorld(end); err != nil {
+				p.settle(p.rest(begin))
+				return err
+			}
+			if overBudget() {
+				p.settle(p.rest(begin))
+				return fmt.Errorf("sim: exceeded %d events without going idle", maxEvents)
 			}
 		}
 		p.now = end

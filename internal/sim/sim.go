@@ -51,6 +51,12 @@ type ContextKey uint64
 // events scheduled for the same instant.
 const RootKey ContextKey = 0
 
+// WorldKey is the ordering identity of world events (node churn, mobility
+// — see Executor.ScheduleWorldAt). It is larger than every context key, so
+// a world event at time t runs after all node events at t: the world
+// mutates between instants, never mid-instant.
+const WorldKey ContextKey = ^ContextKey(0)
+
 // Key2D derives a context key from 2D integer coordinates (a node's
 // location). Distinct coordinates yield distinct keys, and no coordinate
 // collides with RootKey.
@@ -125,6 +131,19 @@ type Executor interface {
 	// true. Sequential checks pred after every event; Parallel checks at
 	// window barriers (see parallel.go).
 	RunUntil(pred func() bool, limit time.Duration) (bool, error)
+	// ScheduleWorldAt schedules a world event: a callback that may mutate
+	// state shared across scheduling contexts (the radio's attachment
+	// table, topology geometry, the deployment's node set) and is
+	// therefore unsafe to run from an ordinary event under a sharded
+	// executor. World events fire at absolute virtual time at (clamped to
+	// now), ordered by (time, WorldKey, schedule order) — after every
+	// node event at the same instant. The sequential executor runs them
+	// in-stream; Parallel clips its windows so each world event executes
+	// at a barrier with all shards synced exactly to its timestamp and no
+	// worker running, which makes the observable schedule identical under
+	// both executors. Call it from the host between runs or from a world
+	// event itself, never from a node event.
+	ScheduleWorldAt(at time.Duration, fn func()) *Event
 	// Stop makes the current Run call return ErrStopped.
 	Stop()
 	// Executed returns the number of events that have fired so far.
@@ -391,10 +410,11 @@ func (t *ctxTable) context(key ContextKey, shardFor func(ContextKey) *shard) *Ct
 // The zero value is not usable; construct with New. Not safe for
 // concurrent use.
 type Sim struct {
-	tab     ctxTable
-	sh      *shard
-	root    *Ctx
-	stopped bool
+	tab      ctxTable
+	sh       *shard
+	root     *Ctx
+	worldSeq uint64
+	stopped  bool
 }
 
 // New returns a sequential executor whose randomness derives from seed.
@@ -430,6 +450,20 @@ func (s *Sim) Schedule(d time.Duration, fn func()) *Event { return s.root.Schedu
 
 // Post schedules fn at the current instant on the root context.
 func (s *Sim) Post(fn func()) *Event { return s.root.Post(fn) }
+
+// ScheduleWorldAt schedules a world event at absolute time at (clamped to
+// now). In the sequential executor a world event is an ordinary queue
+// entry whose WorldKey identity sorts it after every node event at the
+// same instant.
+func (s *Sim) ScheduleWorldAt(at time.Duration, fn func()) *Event {
+	if at < s.sh.now {
+		at = s.sh.now
+	}
+	e := &Event{at: at, src: WorldKey, seq: s.worldSeq, fn: fn, index: -1}
+	s.worldSeq++
+	heap.Push(&s.sh.queue, e)
+	return e
+}
 
 // Stop makes the currently running Run call return after the current event.
 func (s *Sim) Stop() { s.stopped = true }

@@ -23,6 +23,48 @@ type Layout struct {
 	// Gateway is the mote bridged to the base station (the MIB510 link of
 	// §3.1). It must be one of Nodes.
 	Gateway Location
+	// Version counts structural mutations (node moves). A freshly built
+	// layout is version 0; every MoveNode increments it, so consumers
+	// holding derived state (fan-out caches, partition maps) can detect
+	// staleness cheaply.
+	Version uint64
+}
+
+// MoveNode relocates the node at from to to, bumping Version. The Nodes
+// slice is copied on write so previously returned snapshots stay intact.
+// It reports whether a node sat at from; a move onto an occupied location
+// or onto from itself is refused.
+//
+// MoveNode updates placement only. Connectivity follows automatically for
+// geometric Links (Grid, Disk); explicit link sets are rekeyed by
+// whoever owns the live Topology — the radio medium inside a deployment,
+// or the caller via Movable for a standalone layout. Layouts are often
+// shared with a Medium wrapping the same Links value, so rekeying here
+// too would apply the move twice.
+func (l *Layout) MoveNode(from, to Location) bool {
+	if from == to {
+		return false
+	}
+	idx := -1
+	for i, loc := range l.Nodes {
+		if loc == to {
+			return false
+		}
+		if loc == from {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	nodes := append([]Location(nil), l.Nodes...)
+	nodes[idx] = to
+	l.Nodes = nodes
+	if l.Gateway == from {
+		l.Gateway = to
+	}
+	l.Version++
+	return true
 }
 
 // Validate checks structural invariants: at least one node, distinct
@@ -244,3 +286,18 @@ func (a *Adjacency) Link(u, v Location) {
 
 // Connected implements Topology.
 func (a *Adjacency) Connected(from, to Location) bool { return a.links[from][to] }
+
+// Rekey implements Movable: the node keeps its edges to the same
+// partners under its new location.
+func (a *Adjacency) Rekey(from, to Location) {
+	peers, ok := a.links[from]
+	if !ok || from == to {
+		return
+	}
+	delete(a.links, from)
+	a.links[to] = peers
+	for p := range peers {
+		delete(a.links[p], from)
+		a.links[p][to] = true
+	}
+}

@@ -61,6 +61,19 @@ type Topology interface {
 	Connected(from, to Location) bool
 }
 
+// Movable is implemented by topologies whose connectivity is explicit
+// state keyed by location and must be rewritten when a node moves
+// (Adjacency, *WithBase). Geometric topologies (Grid, Disk) derive
+// connectivity from coordinates alone and need no update: a moved node's
+// links simply re-derive from its new position.
+type Movable interface {
+	// Rekey records that the node at from now sits at to. For explicit
+	// link sets the node keeps its edges to the same partners (the
+	// deterministic rule for non-geometric moves); callers that want
+	// different semantics relink explicitly.
+	Rekey(from, to Location)
+}
+
 // Grid is the paper's testbed: nodes on integer coordinates with links only
 // between immediate grid neighbors. Diag selects 8-connectivity instead of
 // the default 4-connectivity.
@@ -107,6 +120,18 @@ func (w WithBase) Connected(from, to Location) bool {
 		return false
 	}
 	return w.Inner.Connected(from, to)
+}
+
+// Rekey implements Movable: a moving gateway carries the base bridge with
+// it, and the inner topology is rekeyed when it is itself Movable. Only
+// meaningful on a *WithBase shared with the radio medium.
+func (w *WithBase) Rekey(from, to Location) {
+	if w.Gateway == from {
+		w.Gateway = to
+	}
+	if mv, ok := w.Inner.(Movable); ok {
+		mv.Rekey(from, to)
+	}
 }
 
 // Disk connects all pairs within Range of each other (unit-disk model).

@@ -27,6 +27,7 @@ type settings struct {
 	radio   *radio.Params
 	field   Field
 	node    NodeConfig
+	energy  *EnergyModel
 	workers int
 }
 
@@ -60,6 +61,17 @@ func WithNodeConfig(cfg NodeConfig) Option {
 	return func(s *settings) { s.node = cfg }
 }
 
+// WithEnergy gives every mote a battery under the given model: joule
+// costs per VM instruction, radio send/receive, and sensor sample, plus
+// idle drain. A mote whose battery empties dies exactly there
+// (EnergyExhausted then NodeDied events) and the network routes around
+// it; ReviveAt/Revive boots it with fresh cells. The base station is
+// mains powered. Start from DefaultEnergyModel and adjust CapacityJ to
+// taste.
+func WithEnergy(m EnergyModel) Option {
+	return func(s *settings) { cp := m; s.energy = &cp }
+}
+
 // WithWorkers runs the simulation kernel on n parallel workers. The
 // deployment is partitioned into n spatial shards that execute
 // concurrently inside time windows bounded by the radio's minimum frame
@@ -89,7 +101,7 @@ func New(opts ...Option) (*Network, error) {
 	if s.topo.realize == nil {
 		// No topology given, or the zero Topology: both mean "the
 		// default testbed", mirroring Scenario.Topology's zero value.
-		s.topo = Grid(5, 5)
+		s.topo = defaultTopology()
 	}
 	layout, err := s.topo.realize(s.seed)
 	if err != nil {
@@ -101,6 +113,7 @@ func New(opts ...Option) (*Network, error) {
 		Radio:   s.radio,
 		Node:    s.node,
 		Field:   s.field,
+		Energy:  s.energy,
 		Workers: s.workers,
 	})
 	if err != nil {

@@ -62,6 +62,17 @@ type Scenario struct {
 	// across-seed parallelism, so large values suit single deep runs, not
 	// wide sweeps.
 	Workers int
+	// Energy gives every mote a battery under the given model (see
+	// WithEnergy); nil disables energy accounting.
+	Energy *EnergyModel
+	// Faults is a declarative world script: kills, revivals, and moves
+	// applied at absolute virtual times (warm-up time counts; the
+	// paper-default warm-up ends at 5s). Events that resolve to nothing
+	// are counted in WorldStats.Rejected, not errors.
+	Faults []WorldEvent
+	// Churn, when non-nil, overlays a seeded stochastic kill/revive
+	// process expanded deterministically from the run's seed.
+	Churn *ChurnProcess
 	// Agents are injected in order after warm-up.
 	Agents []AgentSpec
 	// SkipWarmup starts injecting before neighbor discovery settles.
@@ -105,6 +116,12 @@ type Metrics struct {
 	Hops, MigrationsFail int
 	// Radio medium counters.
 	FramesSent, FramesDelivered, FramesDropped uint64
+	// World dynamics census: scripted/churn kills plus energy deaths,
+	// completed recoveries, and applied moves.
+	NodesDied, NodesRecovered, NodesMoved int
+	// EnergyUsedJ is the network-wide battery drain in joules (0 without
+	// an energy model).
+	EnergyUsedJ float64
 	// Values holds scenario-specific measurements from Play/Collect.
 	Values map[string]float64
 }
@@ -164,12 +181,33 @@ func (s *Scenario) run(ctx context.Context, seed int64) (*Metrics, error) {
 	if s.NodeConfig != nil {
 		opts = append(opts, WithNodeConfig(*s.NodeConfig))
 	}
+	if s.Energy != nil {
+		opts = append(opts, WithEnergy(*s.Energy))
+	}
 	if s.Workers > 1 {
 		opts = append(opts, WithWorkers(s.Workers))
 	}
 	nw, err := New(opts...)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	// Schedule the world script before anything runs: event times are
+	// absolute, so faults can land during warm-up if scripted there.
+	if len(s.Faults) > 0 {
+		nw.Script(s.Faults...)
+	}
+	if s.Churn != nil {
+		horizon := s.Churn.End
+		if horizon <= 0 {
+			// Cover warm-up plus the nominal run for Duration-driven
+			// scenarios; Play-driven ones should set End explicitly.
+			horizon = s.Duration
+			if horizon <= 0 {
+				horizon = time.Minute
+			}
+			horizon += 10 * time.Second
+		}
+		nw.Script(s.Churn.expand(seed, nw.Locations(), horizon)...)
 	}
 	// End any event/watch subscriptions a Play/Until/Collect hook made, so
 	// sweeping thousands of seeds does not accumulate pump goroutines.
@@ -258,6 +296,11 @@ func (s *Scenario) run(ctx context.Context, seed int64) (*Metrics, error) {
 	m.FramesSent = med.Sent
 	m.FramesDelivered = med.Delivered
 	m.FramesDropped = med.Dropped
+	ws := nw.WorldStats()
+	m.NodesDied = int(ws.Kills + stats.EnergyDeaths)
+	m.NodesRecovered = int(ws.Revives)
+	m.NodesMoved = int(ws.Moves)
+	m.EnergyUsedJ = nw.d.EnergyUsedJ()
 	if s.Collect != nil {
 		s.Collect(nw, m)
 	}

@@ -91,7 +91,14 @@ func (sp Space) All() []Tuple {
 //
 // Delivery never blocks or perturbs the simulation: matches queue
 // without bound until read. The channel closes after Network.Close, once
-// already-queued matches have been drained.
+// already-queued matches have been drained (the same close+drain
+// contract as Events).
+//
+// A watch observes one incarnation of the node's space: if the node dies
+// (churn, energy exhaustion, Kill), its volatile space is destroyed and
+// the watch goes silent — matches stop, but the channel stays open until
+// Network.Close so already-queued tuples remain readable. Re-Watch after
+// a revival to observe the new space.
 func (sp Space) Watch(p Template) <-chan Tuple {
 	st := newStream[Tuple]()
 	n := sp.nw.d.Node(sp.loc)

@@ -1,10 +1,19 @@
 package agilla
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/agilla-go/agilla/internal/topology"
 )
+
+// ErrDisconnected reports a topology that realized into more than one
+// connected component: some motes could never exchange a frame, so any
+// scenario needing them would stall. New refuses such topologies with
+// this error (test with errors.Is); probe ahead of time with
+// Topology.Connected or search for a workable seed with
+// Topology.FindConnectedSeed.
+var ErrDisconnected = errors.New("agilla: topology is disconnected")
 
 // Topology describes where motes sit and which pairs can hear each other.
 // A Topology is a plan, not a network: randomized topologies are realized
@@ -23,6 +32,10 @@ func (t Topology) String() string { return t.name }
 func fixed(l topology.Layout) Topology {
 	return Topology{name: l.Name, realize: func(int64) (topology.Layout, error) { return l, nil }}
 }
+
+// defaultTopology is what the zero Topology value means everywhere (New,
+// Scenario.Topology, Topology.Connected): the paper's 5×5 testbed.
+func defaultTopology() Topology { return Grid(5, 5) }
 
 // Grid is the paper's testbed shape: a w×h mote grid rooted at (1,1) with
 // radio links between immediate 4-neighbors and the gateway at (1,1).
@@ -81,8 +94,8 @@ func RandomDisk(n, side int, radioRange float64) Topology {
 			l := topology.RandomDiskLayout(n, side, radioRange, seed)
 			if !l.IsConnected() {
 				return topology.Layout{}, fmt.Errorf(
-					"random disk topology (n=%d side=%d r=%.2g) stayed partitioned; raise the range or density",
-					n, side, radioRange)
+					"%w: random disk (n=%d side=%d r=%.2g) stayed partitioned; raise the range or density, or probe seeds with FindConnectedSeed",
+					ErrDisconnected, n, side, radioRange)
 			}
 			return l, nil
 		},
@@ -96,4 +109,43 @@ func RandomDisk(n, side int, radioRange float64) Topology {
 func Custom(radioRange float64, locs ...Location) Topology {
 	l := topology.CustomLayout(fmt.Sprintf("custom %d nodes", len(locs)), locs, topology.Disk{Range: radioRange})
 	return Topology{name: l.Name, realize: func(int64) (topology.Layout, error) { return l, nil }}
+}
+
+// Connected realizes the topology with seed and reports whether every
+// mote can reach every other over its links — the connectivity check a
+// scenario should make before relying on network-wide coordination. A
+// realization rejected for being partitioned (RandomDisk at low density)
+// reports (false, nil): that is the answer, not a failure. Other
+// realization problems (invalid parameters) surface as the error.
+func (t Topology) Connected(seed int64) (bool, error) {
+	if t.realize == nil {
+		t = defaultTopology()
+	}
+	l, err := t.realize(seed)
+	if err != nil {
+		if errors.Is(err, ErrDisconnected) {
+			return false, nil
+		}
+		return false, err
+	}
+	return l.IsConnected(), nil
+}
+
+// FindConnectedSeed is the seeded-retry escape hatch for randomized
+// topologies: it probes seed, seed+1, ... for at most tries attempts and
+// returns the first seed whose realization is connected. ok is false
+// when no probed seed works (density genuinely too low) or the topology
+// is invalid.
+func (t Topology) FindConnectedSeed(seed int64, tries int) (int64, bool) {
+	for i := 0; i < tries; i++ {
+		s := seed + int64(i)
+		connected, err := t.Connected(s)
+		if err != nil {
+			return 0, false
+		}
+		if connected {
+			return s, true
+		}
+	}
+	return 0, false
 }
