@@ -219,6 +219,11 @@ func (nw *Network) Topology() string { return nw.d.Layout().Name }
 // the base station).
 func (nw *Network) Locations() []Location { return nw.d.Locations() }
 
+// Replication returns the deployment's replication configuration with
+// defaults resolved, or nil when the network was built without
+// WithReplication.
+func (nw *Network) Replication() *Replication { return nw.d.Replication() }
+
 // Field returns the sensor field driving this deployment's readings, or
 // nil when all sensors read 0. A scenario's Play hook uses it to reach
 // the environment (e.g. to ignite a *Fire) without carrying it

@@ -87,6 +87,99 @@ func TestCloseDrainsAndReleasesGoroutines(t *testing.T) {
 	}
 }
 
+// TestWatchClosesOnNodeDeath pins the Watch termination contract: a watch
+// on a node that dies delivers its already-queued matches and then its
+// channel closes — it does not dangle open until Network.Close — while
+// watches on surviving nodes keep delivering. Before this contract a
+// dashboard ranging over a crashed mote's watch hung forever (or until
+// teardown), with the pump goroutine pinned alongside it.
+func TestWatchClosesOnNodeDeath(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	nw, err := agilla.New(
+		agilla.WithTopology(agilla.Grid(3, 1)),
+		agilla.WithReliableRadio(),
+		agilla.WithSeed(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, survivor := agilla.Loc(2, 1), agilla.Loc(3, 1)
+	doomed := nw.Space(victim).Watch(agilla.Tmpl(agilla.Str("png")))
+	alive := nw.Space(survivor).Watch(agilla.Tmpl(agilla.Str("png")))
+	if err := nw.WarmUp(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Space(victim).Out(agilla.T(agilla.Str("png"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	// Kill schedules the crash on the virtual clock; advance past it.
+	if err := nw.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed watch must yield its queued match and then close, without
+	// any Network.Close: ranging terminates.
+	got := 0
+	for range doomed {
+		got++
+	}
+	if got != 1 {
+		t.Fatalf("doomed watch delivered %d matches, want 1", got)
+	}
+
+	// A revival boots a fresh space; the old watch stays closed and a
+	// re-Watch observes the new incarnation.
+	if err := nw.Revive(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rewatch := nw.Space(victim).Watch(agilla.Tmpl(agilla.Str("png")))
+	if err := nw.Space(victim).Out(agilla.T(agilla.Str("png"))); err != nil {
+		t.Fatal(err)
+	}
+	if tu := <-rewatch; len(tu.Fields) == 0 {
+		t.Fatal("re-watch after revival delivered nothing")
+	}
+
+	// The survivor's watch is untouched by its neighbor's death.
+	if err := nw.Space(survivor).Out(agilla.T(agilla.Str("png"))); err != nil {
+		t.Fatal(err)
+	}
+	if tu := <-alive; len(tu.Fields) == 0 {
+		t.Fatal("survivor watch delivered nothing")
+	}
+
+	// Close remains idempotent with the death-path teardown: the doomed
+	// watch was already closed once.
+	if err := nw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for range rewatch {
+	}
+	for range alive {
+	}
+
+	// No pump goroutine may outlive its drained channel — the leak this
+	// contract exists to prevent.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after drain", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // TestDiskConnectivityCheck is the regression for disconnected
 // random-disk deployments: they must fail fast with a typed error, be
 // probeable via Connected, and be recoverable via FindConnectedSeed —

@@ -36,6 +36,10 @@
 //	          scripted kill/revive/move schedule with the
 //	          energy model active, swept over -workers like
 //	          scale; -json writes BENCH_churn.json rows.
+//	          With -replication it adds gossip-replicated
+//	          rows beside the baseline ones, quantifying
+//	          the tuple-survival and remote-lookup gains
+//	          under the identical schedule and seed.
 //	          Also opt-in, for the same reason as scale.
 //
 // With -json PATH and a single JSON-capable experiment selected, PATH is
@@ -65,6 +69,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced trial counts for a fast pass")
 	workers := flag.Int("workers", 4, "max kernel parallelism the scale/churn experiments sweep up to")
 	jsonPath := flag.String("json", "", "write scale/churn rows as JSON: a file when one such experiment is selected, a directory (BENCH_scale.json, BENCH_churn.json) when both are")
+	replication := flag.Bool("replication", false, "add gossip-replicated rows to the churn sweep, beside the baseline rows")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -73,7 +78,7 @@ func main() {
 	// kills the process the default way.
 	context.AfterFunc(ctx, stop)
 
-	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick, Workers: *workers}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick, Workers: *workers, Replication: *replication}
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {

@@ -148,6 +148,7 @@ func run(args []string) error {
 		disasm = fs.String("disasm", "", "deprecated: use the disasm subcommand")
 		watch  = fs.Bool("watch", false, "print middleware events as they happen")
 		fireAt = fs.String("fire", "", "ignite a fire at this node, e.g. 4,4")
+		repl   = fs.Bool("replication", false, "replicate tuple spaces by anti-entropy gossip")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -173,6 +174,9 @@ func run(args []string) error {
 	opts := []agilla.Option{agilla.WithTopology(top), agilla.WithSeed(*seed)}
 	if !*lossy {
 		opts = append(opts, agilla.WithReliableRadio())
+	}
+	if *repl {
+		opts = append(opts, agilla.WithReplication(0, 0)) // defaults: k=2, 500ms
 	}
 	var fire *agilla.Fire
 	if *fireAt != "" {
@@ -272,6 +276,8 @@ func attachWatch(nw *agilla.Network) (finish func()) {
 		agilla.EventAgentDied,
 		agilla.EventRemoteDone,
 		agilla.EventReactionFired,
+		agilla.EventReplicaSynced,
+		agilla.EventTupleRecovered,
 	))
 	done := make(chan struct{})
 	go func() {

@@ -84,6 +84,8 @@ const (
 	EventNodeRecovered
 	EventNodeMoved
 	EventEnergyExhausted
+	EventReplicaSynced
+	EventTupleRecovered
 )
 
 func (k EventKind) String() string {
@@ -112,6 +114,10 @@ func (k EventKind) String() string {
 		return "node-moved"
 	case EventEnergyExhausted:
 		return "energy-exhausted"
+	case EventReplicaSynced:
+		return "replica-synced"
+	case EventTupleRecovered:
+		return "tuple-recovered"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -368,6 +374,44 @@ func (e EnergyExhausted) String() string {
 	return fmt.Sprintf("node %v exhausted its battery (%.3g J)", e.Node, e.UsedJ)
 }
 
+// ReplicaSynced reports a gossip delta changing a node's replica store
+// under WithReplication: Added entries were accepted, Removed tombstones
+// evicted live replicas. Quiet gossip rounds (digest exchanges that find
+// nothing to ship) publish no event.
+type ReplicaSynced struct {
+	At   time.Duration
+	Node Location
+	// Peer is the node whose delta changed this store.
+	Peer    Location
+	Added   int
+	Removed int
+}
+
+func (e ReplicaSynced) Kind() EventKind         { return EventReplicaSynced }
+func (e ReplicaSynced) When() time.Duration     { return e.At }
+func (e ReplicaSynced) Where() Location         { return e.Node }
+func (e ReplicaSynced) agentID() (uint16, bool) { return 0, false }
+func (e ReplicaSynced) String() string {
+	return fmt.Sprintf("node %v synced replica from %v (+%d -%d)", e.Node, e.Peer, e.Added, e.Removed)
+}
+
+// TupleRecovered reports a revived node re-inserting a tuple it had
+// originated before crashing, streamed back out of a neighbor's replica
+// store by anti-entropy gossip (WithReplication).
+type TupleRecovered struct {
+	At    time.Duration
+	Node  Location
+	Tuple Tuple
+}
+
+func (e TupleRecovered) Kind() EventKind         { return EventTupleRecovered }
+func (e TupleRecovered) When() time.Duration     { return e.At }
+func (e TupleRecovered) Where() Location         { return e.Node }
+func (e TupleRecovered) agentID() (uint16, bool) { return 0, false }
+func (e TupleRecovered) String() string {
+	return fmt.Sprintf("node %v recovered tuple %v", e.Node, e.Tuple)
+}
+
 // EventFilter selects a subset of the event stream; a subscription keeps
 // an event only if every filter passes. Combine the provided constructors
 // or write any predicate over the Event interface.
@@ -466,12 +510,31 @@ type eventSub struct {
 	st      *stream[Event]
 }
 
+// watchReg is one live Space.Watch registration. loc tracks the watched
+// node across relocations so death can be matched to the right watches;
+// once makes teardown idempotent between Network.Close and the node-death
+// path.
+type watchReg struct {
+	loc    Location
+	remove func()
+	st     *stream[Tuple]
+	once   sync.Once
+}
+
+func (w *watchReg) closeWatch() {
+	w.once.Do(func() {
+		w.remove()
+		w.st.close()
+	})
+}
+
 // events is the per-network dispatch state behind Events and
 // Space.Watch.
 type events struct {
 	mu        sync.Mutex
 	installed bool
 	subs      []*eventSub
+	watches   []*watchReg
 	closers   []func()
 	closed    bool
 }
@@ -593,34 +656,73 @@ func (nw *Network) installTaps() {
 	}
 	tr.NodeDied = func(node Location, cause DownCause) {
 		nw.publish(NodeDied{At: now(node), Node: node, Cause: cause})
+		nw.closeWatchesAt(node)
 	}
 	tr.NodeRecovered = func(node Location) {
 		nw.publish(NodeRecovered{At: now(node), Node: node})
 	}
 	tr.NodeMoved = func(from, to Location) {
 		nw.publish(NodeMoved{At: now(to), Node: to, From: from})
+		nw.rehomeWatches(from, to)
 	}
 	tr.EnergyExhausted = func(node Location, usedJ float64) {
 		nw.publish(EnergyExhausted{At: now(node), Node: node, UsedJ: usedJ})
 	}
+	tr.ReplicaSynced = func(node, peer Location, added, removed int) {
+		nw.publish(ReplicaSynced{At: now(node), Node: node, Peer: peer, Added: added, Removed: removed})
+	}
+	tr.TupleRecovered = func(node Location, t Tuple) {
+		nw.publish(TupleRecovered{At: now(node), Node: node, Tuple: t})
+	}
 }
 
-// registerWatch atomically installs a watch: on an open network it runs
-// install (which registers the insert observer and returns its remove
-// func) and wires remove+close into Close; on a closed network it only
-// closes the stream, without installing anything. Holding the lock across
-// install closes the race where a concurrent Close would miss a
-// just-registered observer.
-func (nw *Network) registerWatch(install func() (remove func()), st *stream[Tuple]) {
+// closeWatchesAt terminates every watch on a node that just died: the
+// volatile space the watch observed is gone, so the channel closes (after
+// draining queued matches) instead of dangling open until Network.Close.
+func (nw *Network) closeWatchesAt(node Location) {
+	nw.ev.mu.Lock()
+	defer nw.ev.mu.Unlock()
+	kept := nw.ev.watches[:0]
+	for _, w := range nw.ev.watches {
+		if w.loc == node {
+			w.closeWatch()
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	nw.ev.watches = kept
+}
+
+// rehomeWatches follows a relocating mote: its space (tuples, observers)
+// moves with it, so watches keep delivering and must die with the node's
+// new address, not its old one.
+func (nw *Network) rehomeWatches(from, to Location) {
+	nw.ev.mu.Lock()
+	defer nw.ev.mu.Unlock()
+	for _, w := range nw.ev.watches {
+		if w.loc == from {
+			w.loc = to
+		}
+	}
+}
+
+// registerWatch atomically installs a watch on the node at loc: on an
+// open network it runs install (which registers the insert observer and
+// returns its remove func) and wires teardown into both Close and the
+// node-death tap; on a closed network it only closes the stream, without
+// installing anything. Holding the lock across install closes the race
+// where a concurrent Close would miss a just-registered observer.
+func (nw *Network) registerWatch(loc Location, install func() (remove func()), st *stream[Tuple]) {
 	nw.ev.mu.Lock()
 	defer nw.ev.mu.Unlock()
 	if nw.ev.closed {
 		st.close()
 		return
 	}
-	remove := install()
-	nw.ev.closers = append(nw.ev.closers, func() {
-		remove()
-		st.close()
-	})
+	// The death tap must be live for the watch-closing contract even if
+	// the host never subscribed via Events.
+	nw.installTaps()
+	w := &watchReg{loc: loc, remove: install(), st: st}
+	nw.ev.watches = append(nw.ev.watches, w)
+	nw.ev.closers = append(nw.ev.closers, w.closeWatch)
 }

@@ -199,6 +199,8 @@ func TestEnumStrings(t *testing.T) {
 		{agilla.RemoteInp.String(), "rinp"},
 		{agilla.RemoteRdp.String(), "rrdp"},
 		{agilla.EventReactionFired.String(), "reaction-fired"},
+		{agilla.EventReplicaSynced.String(), "replica-synced"},
+		{agilla.EventTupleRecovered.String(), "tuple-recovered"},
 		{agilla.AgentReady.String(), "ready"},
 		{agilla.AgentWaiting.String(), "waiting"},
 		{agilla.AgentDead.String(), "dead"},
@@ -230,5 +232,15 @@ func TestEventStringsReadable(t *testing.T) {
 	h := agilla.AgentHalted{At: time.Second, Node: agilla.Loc(2, 1), AgentID: 257}
 	if got := h.String(); got != "agent 257 halted at (2,1)" {
 		t.Errorf("AgentHalted.String() = %q", got)
+	}
+	rs := agilla.ReplicaSynced{
+		At: time.Second, Node: agilla.Loc(2, 1), Peer: agilla.Loc(1, 1), Added: 3, Removed: 1,
+	}
+	if got := rs.String(); got != "node (2,1) synced replica from (1,1) (+3 -1)" {
+		t.Errorf("ReplicaSynced.String() = %q", got)
+	}
+	tr := agilla.TupleRecovered{At: time.Second, Node: agilla.Loc(2, 1), Tuple: agilla.T(agilla.Str("sv"))}
+	if got := tr.String(); got != `node (2,1) recovered tuple <"sv">` {
+		t.Errorf("TupleRecovered.String() = %q", got)
 	}
 }

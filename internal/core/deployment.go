@@ -121,6 +121,9 @@ type DeploymentSpec struct {
 	// Energy attaches a battery with the given model to every mote (the
 	// base station is mains powered). Nil disables energy accounting.
 	Energy *EnergyModel
+	// Replication attaches the gossip CRDT layer to every mote (the base
+	// station holds no replicas). Nil disables replication.
+	Replication *Replication
 	// Workers selects the simulation executor: values above 1 run the
 	// deployment on that many spatial shards executing in parallel,
 	// windowed by the radio's minimum frame delay; 0 or 1 keeps the
@@ -272,10 +275,27 @@ func NewDeployment(spec DeploymentSpec) (*Deployment, error) {
 		if spec.Energy != nil {
 			n.SetEnergy(*spec.Energy)
 		}
+		if spec.Replication != nil {
+			// Peer choice draws from a per-node stream keyed exactly like
+			// the node's scheduling context, so gossip is independent of
+			// the worker count and of every other random consumer.
+			n.EnableReplication(*spec.Replication,
+				sim.Stream(spec.Seed, saltReplica, uint64(sim.Key2D(loc.X, loc.Y))))
+		}
 		d.nodes[loc] = n
 		idx++
 	}
 	return d, nil
+}
+
+// Replication returns the deployment's replication config with defaults
+// resolved, or nil when replication is disabled.
+func (d *Deployment) Replication() *Replication {
+	if d.spec.Replication == nil {
+		return nil
+	}
+	r := d.spec.Replication.withDefaults()
+	return &r
 }
 
 // Workers returns the effective parallelism of the deployment's executor:
@@ -384,6 +404,8 @@ func (d *Deployment) TotalStats() NodeStats {
 		t.ReactionsFired += s.ReactionsFired
 		t.FramesMissed += s.FramesMissed
 		t.EnergyDeaths += s.EnergyDeaths
+		t.TuplesReplicated += s.TuplesReplicated
+		t.TuplesRecovered += s.TuplesRecovered
 	}
 	return t
 }

@@ -95,6 +95,12 @@ func (r *traceRecorder) install(d *Deployment) {
 	tr.EnergyExhausted = func(node topology.Location, usedJ float64) {
 		r.add(now(node), node, "energy-exhausted %.9f", usedJ)
 	}
+	tr.ReplicaSynced = func(node, peer topology.Location, added, removed int) {
+		r.add(now(node), node, "replica-synced from %v +%d -%d", peer, added, removed)
+	}
+	tr.TupleRecovered = func(node topology.Location, tu tuplespace.Tuple) {
+		r.add(now(node), node, "tuple-recovered %v", tu)
+	}
 }
 
 // hash renders the trace sorted by (time, node, per-node seq) and digests
@@ -321,6 +327,97 @@ func TestWorldDynamicsDeterministic(t *testing.T) {
 				}
 				if gotWorld != wantWorld {
 					t.Errorf("workers=%d: world stats %+v, want %+v", workers, gotWorld, wantWorld)
+				}
+			}
+		})
+	}
+}
+
+// runReplicationDeterminismWorkload drives the gossip CRDT layer under
+// churn: replication on every mote, application tuples outed across the
+// grid, a kill + revive so the recovery re-sync runs, remote probes served
+// from replicas, and the energy model charging every gossip frame.
+func runReplicationDeterminismWorkload(t *testing.T, seed int64, workers int) (uint64, int, NodeStats, Stats2) {
+	t.Helper()
+	energy := DefaultEnergyModel()
+	energy.CapacityJ = 2.0 // generous: gossip airtime must not exhaust motes mid-run
+	d, err := NewDeployment(DeploymentSpec{
+		Layout:      topology.GridLayout(4, 4),
+		Seed:        seed,
+		Workers:     workers,
+		Energy:      &energy,
+		Replication: &Replication{K: 2, Period: 500 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("deployment: %v", err)
+	}
+	rec := newTraceRecorder()
+	rec.install(d)
+
+	if err := d.WarmUp(); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	start := d.Sim.Now()
+
+	// Seed application tuples on several motes, then let gossip spread
+	// them while a kill/revive forces a recovery re-sync.
+	locs := d.Locations()
+	for i, loc := range locs {
+		if err := d.Node(loc).TSOut(tuplespace.T(tuplespace.Str("sv"), tuplespace.Int(int16(i)))); err != nil {
+			t.Fatalf("out at %v: %v", loc, err)
+		}
+	}
+	victim := topology.Loc(2, 2)
+	d.KillAt(start+3*time.Second, victim)
+	d.ReviveAt(start+8*time.Second, victim)
+
+	// Remote probes against a mote that never held the tuple locally: the
+	// replica fallback answers them once gossip has spread the entries.
+	probe := topology.Loc(4, 4)
+	d.Sim.ScheduleWorldAt(start+6*time.Second, func() {
+		d.Base.RemoteOp(wire.OpRrdp, probe, tuplespace.Tuple{},
+			tuplespace.Tmpl(tuplespace.Str("sv"), tuplespace.TypeV(tuplespace.TypeValue)), nil)
+	})
+	d.Sim.ScheduleWorldAt(start+12*time.Second, func() {
+		d.Base.RemoteOp(wire.OpRinp, probe, tuplespace.Tuple{},
+			tuplespace.Tmpl(tuplespace.Str("sv"), tuplespace.TypeV(tuplespace.TypeValue)), nil)
+	})
+
+	if err := d.Sim.Run(start + 16*time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	h, n := rec.hash()
+	return h, n, d.TotalStats(), Stats2{Medium: d.Medium.Stats(), Now: d.Sim.Now(), Events: d.Sim.Executed()}
+}
+
+// TestReplicationDeterministic is the acceptance gate for the replication
+// subsystem: gossip, recovery re-sync, and replica-served remote probes
+// produce identical trace hashes and counters at 1, 2, and 4 workers.
+func TestReplicationDeterministic(t *testing.T) {
+	for _, seed := range []int64{7, 41} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			wantHash, wantLen, wantStats, wantExec := runReplicationDeterminismWorkload(t, seed, 1)
+			if wantLen == 0 {
+				t.Fatal("sequential run produced no trace events")
+			}
+			if wantStats.TuplesReplicated == 0 {
+				t.Fatalf("no tuples replicated — gossip never ran: %+v", wantStats)
+			}
+			if wantStats.TuplesRecovered == 0 {
+				t.Fatalf("no tuples recovered after revive: %+v", wantStats)
+			}
+			for _, workers := range []int{2, 4} {
+				gotHash, gotLen, gotStats, gotExec := runReplicationDeterminismWorkload(t, seed, workers)
+				if gotLen != wantLen || gotHash != wantHash {
+					t.Errorf("workers=%d: trace hash %016x (%d events), want %016x (%d events)",
+						workers, gotHash, gotLen, wantHash, wantLen)
+				}
+				if gotStats != wantStats {
+					t.Errorf("workers=%d: stats %+v, want %+v", workers, gotStats, wantStats)
+				}
+				if gotExec.String() != wantExec.String() {
+					t.Errorf("workers=%d: executor state %v, want %v", workers, gotExec, wantExec)
 				}
 			}
 		})

@@ -710,7 +710,9 @@ func (n *Node) admitRecord(a *vm.Agent) (*record, error) {
 	rec := &record{agent: a, state: AgentMigrating, arrivedAt: n.sim.Now()}
 	n.agents[a.ID] = rec
 	n.stats.AgentsHosted++
-	_ = n.space.Out(tuplespace.T(tuplespace.Str("agt"), tuplespace.AgentIDV(a.ID)))
+	n.replicaMuted(func() {
+		_ = n.space.Out(tuplespace.T(tuplespace.Str("agt"), tuplespace.AgentIDV(a.ID)))
+	})
 	return rec, nil
 }
 

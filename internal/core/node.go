@@ -122,6 +122,8 @@ type Node struct {
 	life   LifeState // up / down / recovering (see world.go)
 	bat    *battery  // nil when the deployment has no energy model
 	batGen int       // invalidates stale battery tick chains
+
+	repl *replicaState // nil without replication (see replica.go)
 }
 
 // NewNode builds a mote at loc, attaches it to the medium, and seeds its
@@ -163,10 +165,12 @@ func NewNode(s *sim.Ctx, medium *radio.Medium, loc topology.Location, nodeIndex 
 }
 
 // Start begins beaconing (and, with an energy model, the idle-drain
-// check). Call after all nodes are constructed.
+// check; with replication, the gossip tick). Call after all nodes are
+// constructed.
 func (n *Node) Start() {
 	n.net.Start()
 	n.startBatteryTick()
+	n.startGossip()
 }
 
 // Stop silences the node: the mote dies exactly as a scripted kill would
@@ -260,15 +264,19 @@ func (n *Node) NextAgentID() uint16 {
 }
 
 // seedContextTuples inserts the pre-defined context tuples: the node's
-// location and one sensor tuple per available sensor (§2.2).
+// location and one sensor tuple per available sensor (§2.2). Context
+// tuples are per-node state, not application data, so they are never
+// replicated.
 func (n *Node) seedContextTuples() {
-	// Location tuple: <"loc", (x,y)>.
-	_ = n.space.Out(tuplespace.T(tuplespace.Str("loc"), tuplespace.LocV(n.loc)))
-	if n.board != nil {
-		for _, t := range n.board.ContextTuples() {
-			_ = n.space.Out(t)
+	n.replicaMuted(func() {
+		// Location tuple: <"loc", (x,y)>.
+		_ = n.space.Out(tuplespace.T(tuplespace.Str("loc"), tuplespace.LocV(n.loc)))
+		if n.board != nil {
+			for _, t := range n.board.ContextTuples() {
+				_ = n.space.Out(t)
+			}
 		}
-	}
+	})
 }
 
 // CreateAgent hosts a fresh agent with the given code, as if injected
@@ -306,7 +314,9 @@ func (n *Node) reclaim(id uint16) {
 	}
 	n.instr.Free(id)
 	n.registry.RemoveAgent(id)
-	n.space.Inp(tuplespace.Tmpl(tuplespace.Str("agt"), tuplespace.AgentIDV(id)))
+	n.replicaMuted(func() {
+		n.space.Inp(tuplespace.Tmpl(tuplespace.Str("agt"), tuplespace.AgentIDV(id)))
+	})
 	delete(n.agents, id)
 }
 
@@ -378,13 +388,18 @@ func (n *Node) ReceiveFrame(f radio.Frame) {
 	n.net.HandleFrame(f)
 }
 
-// handleDirect receives one-hop migration traffic from the network stack.
+// handleDirect receives one-hop migration and gossip traffic from the
+// network stack.
 func (n *Node) handleDirect(f radio.Frame) {
 	switch f.Kind {
 	case radio.KindMigrate:
 		n.recvMigrationData(f)
 	case radio.KindMigrateCtl:
 		n.recvMigrationAck(f)
+	case radio.KindReplicaDigest:
+		n.recvReplicaDigest(f)
+	case radio.KindReplicaDelta:
+		n.recvReplicaDelta(f)
 	}
 }
 

@@ -187,6 +187,12 @@ func (n *Node) rememberServed(key servedKey, sr servedReply) {
 	}
 }
 
+// performRemote executes one remote operation against the local space.
+// With replication, a probe the arena cannot satisfy falls back to the
+// replica store: an rrdp reads any live replica, and an rinp consumes one
+// by tombstoning it — the tombstone gossips outward and evicts the arena
+// copy on the origin (see recvReplicaDelta), so the removal is
+// network-wide even though the origin never saw the request.
 func (n *Node) performRemote(req wire.RemoteRequest) wire.RemoteReply {
 	reply := wire.RemoteReply{ReqID: req.ReqID}
 	switch req.Op {
@@ -194,9 +200,20 @@ func (n *Node) performRemote(req wire.RemoteRequest) wire.RemoteReply {
 		reply.OK = n.space.Out(req.Tuple) == nil
 	case wire.OpRinp:
 		t, ok := n.space.Inp(req.Template)
+		if !ok && n.repl != nil {
+			if e, hit := n.repl.set.LiveMatch(req.Template); hit {
+				n.repl.set.Tombstone(e.Origin)
+				t, ok = e.Tuple, true
+			}
+		}
 		reply.OK, reply.Tuple = ok, t
 	case wire.OpRrdp:
 		t, ok := n.space.Rdp(req.Template)
+		if !ok && n.repl != nil {
+			if e, hit := n.repl.set.LiveMatch(req.Template); hit {
+				t, ok = e.Tuple, true
+			}
+		}
 		reply.OK, reply.Tuple = ok, t
 	}
 	return reply

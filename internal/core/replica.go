@@ -1,0 +1,324 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/agilla-go/agilla/internal/radio"
+	"github.com/agilla-go/agilla/internal/replica"
+	"github.com/agilla-go/agilla/internal/topology"
+	"github.com/agilla-go/agilla/internal/tuplespace"
+	"github.com/agilla-go/agilla/internal/wire"
+)
+
+// The replication engine: each mote's tuple space doubles as a two-phase
+// replicated set (internal/replica) synchronized to radio neighbors by
+// periodic anti-entropy gossip. The paper's remote operations are
+// best-effort probes against a single mote's RAM (§2.2); replication adds
+// the missing survivability story — a tuple outlives its node, a remote
+// rrdp can be answered from a neighbor's replica when the owner is down,
+// and a recovered mote gets its own tuples streamed back.
+//
+// Everything here runs inside the owning node's scheduling context: ticks
+// are node events, gossip frames travel through the radio medium (and so
+// respect the parallel executor's windows), and the per-node peer-choice
+// stream is derived from the deployment seed alone. Replication-enabled
+// runs are therefore trace-identical across worker counts, like every
+// other subsystem.
+
+// saltReplica derives the per-node gossip peer-choice streams ("repl").
+const saltReplica = 0x7265706c
+
+// replicaDeltaCap bounds entries per delta frame, keeping gossip payloads
+// mote-sized. Anti-entropy resumes where the cap cut off, so convergence
+// is unaffected — a big resync just takes several rounds.
+const replicaDeltaCap = 16
+
+// Replication configures the gossip CRDT layer. The zero value of each
+// field selects a default; attach to a deployment via
+// DeploymentSpec.Replication.
+type Replication struct {
+	// K is the gossip fan-out: how many radio neighbors receive a digest
+	// each tick (default 2).
+	K int
+	// Period is the anti-entropy tick period (default 500ms).
+	Period time.Duration
+	// Groups is the affinity-group count for key-routed lookups
+	// (default 4). 1 disables group routing.
+	Groups int
+	// MaxEntries caps each mote's replica store, live entries plus
+	// tombstones (default 128); tombstones are always admitted.
+	MaxEntries int
+}
+
+func (r Replication) withDefaults() Replication {
+	if r.K <= 0 {
+		r.K = 2
+	}
+	if r.Period <= 0 {
+		r.Period = 500 * time.Millisecond
+	}
+	if r.Groups <= 0 {
+		r.Groups = 4
+	}
+	if r.MaxEntries <= 0 {
+		r.MaxEntries = 128
+	}
+	return r
+}
+
+// replicaState is one node's replication side: the CRDT store, the origin
+// sequence counter, and the gossip tick bookkeeping.
+type replicaState struct {
+	cfg Replication
+	set *replica.Set
+	rng *rand.Rand // peer choice; deployment-seeded per node
+
+	// seq numbers this node's originated entries. It survives Crash — the
+	// counter models a nonvolatile register, because reusing a sequence
+	// after reboot would collide with dots still circulating in neighbor
+	// stores and could resurrect a tombstoned tuple.
+	seq uint16
+
+	// former lists addresses this node previously occupied; entries
+	// originated before a move carry the old location, and removal
+	// tracking and recovery must keep recognizing them as ours.
+	former []topology.Location
+
+	gen  int // invalidates stale gossip tick chains, like batGen
+	mute int // >0: space hooks ignore inserts/removals (bookkeeping ops)
+}
+
+// EnableReplication attaches the gossip CRDT layer to the node. Call after
+// NewNode and before Start; rng must be a dedicated deterministic stream
+// (the deployment derives one per node from the seed). Context tuples
+// seeded before this call are deliberately untracked — they are per-node
+// state, not application data.
+func (n *Node) EnableReplication(cfg Replication, rng *rand.Rand) {
+	cfg = cfg.withDefaults()
+	n.repl = &replicaState{cfg: cfg, rng: rng, set: replica.NewSet(cfg.MaxEntries)}
+	n.hookReplica()
+}
+
+// ReplicationEnabled reports whether the node gossips replicas.
+func (n *Node) ReplicationEnabled() bool { return n.repl != nil }
+
+// ReplicaLive returns the node's live replica entries (tests and the churn
+// harness inspect survival through this). Nil without replication.
+func (n *Node) ReplicaLive() []replica.Entry {
+	if n.repl == nil {
+		return nil
+	}
+	return n.repl.set.Live()
+}
+
+// hookReplica subscribes the replica tracker to the node's current tuple
+// space. Crash rebuilds the space, so it re-hooks after the rebuild.
+func (n *Node) hookReplica() {
+	n.space.OnInsert(n.replicaOnInsert)
+	n.space.OnRemove(n.replicaOnRemove)
+}
+
+// replicaMuted runs f with replica tracking suppressed — for bookkeeping
+// inserts and removals (context tuples, agent records, recovery re-inserts)
+// that must not be stamped as application data.
+func (n *Node) replicaMuted(f func()) {
+	if n.repl == nil {
+		f()
+		return
+	}
+	n.repl.mute++
+	f()
+	n.repl.mute--
+}
+
+// replicaOnInsert stamps a fresh arena insertion with this node's next
+// origin dot. The sequence only advances when the store admits the entry,
+// so a full store never opens a gap below this origin's frontier (a gap
+// would stall delta propagation of everything above it).
+func (n *Node) replicaOnInsert(t tuplespace.Tuple) {
+	r := n.repl
+	if r == nil || r.mute > 0 {
+		return
+	}
+	if r.set.Add(replica.Origin{Node: n.loc, Seq: r.seq + 1}, t) {
+		r.seq++
+	}
+}
+
+// replicaOnRemove tombstones the replica entry behind a consumed arena
+// tuple. Only entries this node originated (at its current or a former
+// address) are findable here; consuming an untracked tuple is a no-op.
+func (n *Node) replicaOnRemove(t tuplespace.Tuple) {
+	r := n.repl
+	if r == nil || r.mute > 0 {
+		return
+	}
+	for _, loc := range n.ownReplicaLocs() {
+		if o, ok := r.set.FindLocal(loc, t); ok {
+			r.set.Tombstone(o)
+			return
+		}
+	}
+}
+
+// ownReplicaLocs returns every address whose origin dots belong to this
+// node: the current location plus any vacated by moves.
+func (n *Node) ownReplicaLocs() []topology.Location {
+	return append([]topology.Location{n.loc}, n.repl.former...)
+}
+
+// ownsReplicaOrigin reports whether dots stamped at loc are this node's.
+func (n *Node) ownsReplicaOrigin(loc topology.Location) bool {
+	if loc == n.loc {
+		return true
+	}
+	for _, f := range n.repl.former {
+		if f == loc {
+			return true
+		}
+	}
+	return false
+}
+
+// startGossip arms the periodic anti-entropy tick. The chain stops itself
+// when the node goes down (generation check, like the battery tick) and is
+// re-armed by Recover — whose first tick advertises a near-empty store,
+// which is exactly the invitation neighbors need to stream state back.
+func (n *Node) startGossip() {
+	r := n.repl
+	if r == nil {
+		return
+	}
+	r.gen++
+	gen := r.gen
+	var tick func()
+	tick = func() {
+		if n.life != NodeUp || r.gen != gen {
+			return
+		}
+		n.gossipTick()
+		if n.life != NodeUp || r.gen != gen {
+			return // transmitting the digests emptied the battery
+		}
+		n.sim.Schedule(r.cfg.Period, tick)
+	}
+	n.sim.Schedule(r.cfg.Period, tick)
+}
+
+// stopGossip invalidates the running tick chain.
+func (n *Node) stopGossip() {
+	if n.repl != nil {
+		n.repl.gen++
+	}
+}
+
+// gossipTick pushes this node's digest to K neighbors. Peer choice draws
+// once from the node's own stream (when there is a choice to make), so the
+// sequence of choices is a pure function of the seed and this node's
+// schedule — identical under both executors.
+func (n *Node) gossipTick() {
+	r := n.repl
+	nbrs := n.net.Acquaintances().Neighbors()
+	if len(nbrs) == 0 {
+		return
+	}
+	k := r.cfg.K
+	if k > len(nbrs) {
+		k = len(nbrs)
+	}
+	start := 0
+	if len(nbrs) > 1 {
+		start = r.rng.Intn(len(nbrs))
+	}
+	payload := wire.ReplicaDigest{Lines: r.set.Digest()}.Encode()
+	for i := 0; i < k; i++ {
+		n.net.SendDirect(nbrs[(start+i)%len(nbrs)].Loc, radio.KindReplicaDigest, payload)
+		if n.life != NodeUp {
+			return // the transmit charge emptied the battery
+		}
+	}
+}
+
+// recvReplicaDigest answers a peer's digest: a delta with whatever the
+// peer lacks, and — on first contact only — a reply digest if the peer
+// advertises state we lack. Replies are never answered with further
+// digests, which is what terminates every exchange.
+func (n *Node) recvReplicaDigest(f radio.Frame) {
+	r := n.repl
+	if r == nil {
+		return
+	}
+	d, err := wire.DecodeReplicaDigest(f.Payload)
+	if err != nil {
+		return
+	}
+	if delta := r.set.DeltaFor(d.Lines, replicaDeltaCap); len(delta) > 0 {
+		n.net.SendDirect(f.Src, radio.KindReplicaDelta, wire.ReplicaDelta{Entries: delta}.Encode())
+		if n.life != NodeUp {
+			return
+		}
+	}
+	if !d.Reply && r.set.NeedsFrom(d.Lines) {
+		n.net.SendDirect(f.Src, radio.KindReplicaDigest,
+			wire.ReplicaDigest{Reply: true, Lines: r.set.Digest()}.Encode())
+	}
+}
+
+// recvReplicaDelta merges a peer's delta entry by entry, applying the two
+// arena side effects: a tombstone for a tuple this node re-owns removes
+// the arena copy, and an add for an origin this node owns (the recovery
+// path — a neighbor streaming back what this node lost in a crash)
+// re-inserts the tuple into the arena.
+func (n *Node) recvReplicaDelta(f radio.Frame) {
+	r := n.repl
+	if r == nil {
+		return
+	}
+	d, err := wire.DecodeReplicaDelta(f.Payload)
+	if err != nil {
+		return
+	}
+	added, removed := 0, 0
+	for _, e := range d.Entries {
+		if e.Removed {
+			prior, wasLive, changed := r.set.Tombstone(e.Origin)
+			if !changed {
+				continue
+			}
+			removed++
+			if wasLive && n.ownsReplicaOrigin(e.Origin.Node) {
+				// Someone consumed our tuple remotely (rinp served from a
+				// replica): retract the arena copy so it cannot be read
+				// again locally, let alone resurrect.
+				n.replicaMuted(func() {
+					n.space.Inp(tuplespace.Template{Fields: prior.Fields})
+				})
+			}
+			continue
+		}
+		if !r.set.Add(e.Origin, e.Tuple) {
+			continue
+		}
+		added++
+		n.stats.TuplesReplicated++
+		if n.ownsReplicaOrigin(e.Origin.Node) {
+			recovered := false
+			n.replicaMuted(func() {
+				exact := tuplespace.Template{Fields: e.Tuple.Fields}
+				if _, ok := n.space.Rdp(exact); !ok {
+					recovered = n.space.Out(e.Tuple) == nil
+				}
+			})
+			if recovered {
+				n.stats.TuplesRecovered++
+				if n.trace != nil && n.trace.TupleRecovered != nil {
+					n.trace.TupleRecovered(n.loc, e.Tuple)
+				}
+			}
+		}
+	}
+	if (added > 0 || removed > 0) && n.trace != nil && n.trace.ReplicaSynced != nil {
+		n.trace.ReplicaSynced(n.loc, f.Src, added, removed)
+	}
+}

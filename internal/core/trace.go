@@ -51,6 +51,12 @@ type Trace struct {
 	// the NodeDied it causes. usedJ is the emptied battery's drain in
 	// joules (the current cells only — a revived mote starts fresh).
 	EnergyExhausted func(node topology.Location, usedJ float64)
+	// ReplicaSynced fires on a node whenever a gossip delta changes its
+	// replica store; peer is the delta's sender.
+	ReplicaSynced func(node, peer topology.Location, added, removed int)
+	// TupleRecovered fires when a recovered node re-inserts a tuple it
+	// originated, streamed back from a neighbor's replica store.
+	TupleRecovered func(node topology.Location, t tuplespace.Tuple)
 }
 
 // NodeStats counts per-node middleware activity.
@@ -72,4 +78,9 @@ type NodeStats struct {
 	// EnergyDeaths counts battery exhaustions (each also increments the
 	// deployment's NodeDied accounting via the world counters).
 	EnergyDeaths uint64
+	// TuplesReplicated counts replica entries this node accepted from
+	// gossip deltas; TuplesRecovered counts own tuples re-inserted into
+	// the arena after a crash, streamed back by neighbors.
+	TuplesReplicated uint64
+	TuplesRecovered  uint64
 }

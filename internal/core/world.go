@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/agilla-go/agilla/internal/replica"
 	"github.com/agilla-go/agilla/internal/sim"
 	"github.com/agilla-go/agilla/internal/topology"
 	"github.com/agilla-go/agilla/internal/tuplespace"
@@ -196,6 +197,14 @@ func (n *Node) Crash(cause DownCause) bool {
 	// The tuple space, registry, and instruction memory are rebuilt empty.
 	n.space = tuplespace.NewSpace(n.cfg.ArenaBytes)
 	n.space.OnInsert(n.onTupleInserted)
+	if n.repl != nil {
+		// The replica store is RAM like everything else: lost with the
+		// crash, re-seeded from neighbors after Recover. Only the origin
+		// sequence counter survives (see replicaState.seq).
+		n.stopGossip()
+		n.repl.set = replica.NewSet(n.repl.cfg.MaxEntries)
+		n.hookReplica()
+	}
 	n.registry = tuplespace.NewRegistry(n.cfg.RegistryBytes, n.cfg.RegistryMax)
 	n.instr = NewInstrMem(n.cfg.CodeBlocks)
 	n.led = 0
@@ -225,6 +234,9 @@ func (n *Node) Recover() bool {
 		n.seedContextTuples()
 		n.net.Start()
 		n.startBatteryTick()
+		// Restarted gossip opens with a near-empty digest — the invitation
+		// for neighbors to stream this node's tuples back (TupleRecovered).
+		n.startGossip()
 		if n.trace != nil && n.trace.NodeRecovered != nil {
 			n.trace.NodeRecovered(n.loc)
 		}
@@ -241,6 +253,11 @@ func (n *Node) Recover() bool {
 func (n *Node) applyMove(to topology.Location) {
 	from := n.loc
 	n.loc = to
+	if n.repl != nil {
+		// Dots stamped at the old address stay this node's: removal
+		// tracking and recovery keep recognizing them via the former list.
+		n.repl.former = append(n.repl.former, from)
+	}
 	n.net.SetSelf(to)
 	if n.board != nil {
 		n.board.MoveTo(to)
@@ -254,9 +271,12 @@ func (n *Node) applyMove(to topology.Location) {
 	}
 	if n.life == NodeUp {
 		// Refresh the location context tuple (§2.2); the insertion runs
-		// reactions, so agents can watch their host move.
-		n.space.Inp(tuplespace.Tmpl(tuplespace.Str("loc"), tuplespace.LocV(from)))
-		_ = n.space.Out(tuplespace.T(tuplespace.Str("loc"), tuplespace.LocV(to)))
+		// reactions, so agents can watch their host move. Context tuples
+		// are never replicated, so the refresh is muted.
+		n.replicaMuted(func() {
+			n.space.Inp(tuplespace.Tmpl(tuplespace.Str("loc"), tuplespace.LocV(from)))
+			_ = n.space.Out(tuplespace.T(tuplespace.Str("loc"), tuplespace.LocV(to)))
+		})
 	}
 	if n.trace != nil && n.trace.NodeMoved != nil {
 		n.trace.NodeMoved(from, to)

@@ -8,34 +8,67 @@ import (
 
 // TestChurnDeterministicAcrossWorkers runs the quick churn sweep at 1 and
 // 2 workers and requires every deterministic column identical — the same
-// property the CI smoke job asserts over the JSON artifacts.
+// property the CI smoke job asserts over the JSON artifacts. It also pins
+// what the replication rows must demonstrate: under the identical churn
+// schedule and seed, gossip replication turns the dead motes' markers
+// from unreadable to readable (remote probes and end-of-run survival).
 func TestChurnDeterministicAcrossWorkers(t *testing.T) {
-	res, err := Churn(Config{Seed: 7, Quick: true, Workers: 2})
+	res, err := Churn(Config{Seed: 7, Quick: true, Workers: 2, Replication: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) < 2 {
-		t.Fatalf("expected rows for workers 1 and 2, got %d", len(res.Rows))
+	if len(res.Rows) < 4 {
+		t.Fatalf("expected replication on/off rows for workers 1 and 2, got %d", len(res.Rows))
 	}
 	det := func(r ChurnRow) ChurnRow {
 		r.Workers, r.WallSecs, r.EventsPerSec, r.Speedup = 0, 0, 0, 0
 		return r
 	}
-	base := res.Rows[0]
-	if base.Kills == 0 || base.Moves == 0 {
-		t.Fatalf("world schedule did not apply: %+v", base)
-	}
-	if base.EnergyDeaths == 0 {
-		t.Fatalf("energy model never exhausted a battery: %+v", base)
-	}
-	for _, row := range res.Rows[1:] {
-		if row.Scenario != base.Scenario {
+	base := map[bool]ChurnRow{}
+	for _, row := range res.Rows {
+		key := row.Replication
+		first, seen := base[key]
+		if !seen {
+			base[key] = row
 			continue
 		}
-		if det(row) != det(base) {
-			t.Errorf("workers=%d diverged:\n got %+v\nwant %+v", row.Workers, det(row), det(base))
+		if row.Scenario != first.Scenario {
+			continue
+		}
+		if det(row) != det(first) {
+			t.Errorf("workers=%d repl=%v diverged:\n got %+v\nwant %+v",
+				row.Workers, row.Replication, det(row), det(first))
 		}
 	}
+
+	off, on := base[false], base[true]
+	if off.Kills == 0 || off.Moves == 0 {
+		t.Fatalf("world schedule did not apply: %+v", off)
+	}
+	if off.EnergyDeaths == 0 || on.EnergyDeaths == 0 {
+		t.Fatalf("energy model never exhausted a battery: off=%d on=%d deaths",
+			off.EnergyDeaths, on.EnergyDeaths)
+	}
+	if off.TuplesReplicated != 0 || off.TuplesRecovered != 0 {
+		t.Errorf("baseline rows must not replicate: %+v", off)
+	}
+	if on.TuplesReplicated == 0 {
+		t.Error("replication rows accepted no gossip entries")
+	}
+	if on.TuplesRecovered == 0 {
+		t.Error("no tuple streamed back to a revived mote")
+	}
+	// The headline comparison: same seed, same schedule — replication
+	// must make dead motes' data measurably more available.
+	if on.RemoteOKRate <= off.RemoteOKRate {
+		t.Errorf("remote probe OK rate did not improve: off=%.2f on=%.2f",
+			off.RemoteOKRate, on.RemoteOKRate)
+	}
+	if on.TupleSurvival <= off.TupleSurvival {
+		t.Errorf("tuple survival did not improve: off=%.2f on=%.2f",
+			off.TupleSurvival, on.TupleSurvival)
+	}
+
 	if s := res.String(); !strings.Contains(s, "grid 6x6") {
 		t.Errorf("String() missing scenario: %q", s)
 	}

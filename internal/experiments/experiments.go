@@ -39,6 +39,10 @@ type Config struct {
 	// Workers is the maximum kernel parallelism the scale experiment
 	// sweeps up to (default 4; 1 keeps everything sequential).
 	Workers int
+	// Replication adds gossip-replicated rows to the churn sweep, beside
+	// the baseline rows, so the output quantifies what the replication
+	// layer buys under the identical schedule and seed.
+	Replication bool
 }
 
 func (c Config) withDefaults() Config {

@@ -164,6 +164,7 @@ func scaleHash(d *core.Deployment) uint64 {
 			s.InstrExecuted, s.AgentsHosted, s.AgentsHalted, s.AgentsDied,
 			s.MigrationsOut, s.MigrationsOK, s.MigrationsFail,
 			s.RemoteInitiated, s.RemoteOK, s.RemoteFail, s.ReactionsFired,
+			s.TuplesReplicated, s.TuplesRecovered,
 		} {
 			word(v)
 		}

@@ -53,6 +53,9 @@ const (
 	KindMigrateCtl uint8 = 3 // migration control (request/grant/ack/commit/abort)
 	KindRemoteTS   uint8 = 4 // remote tuple space request
 	KindRemoteTSR  uint8 = 5 // remote tuple space reply
+
+	KindReplicaDigest uint8 = 6 // replication anti-entropy digest
+	KindReplicaDelta  uint8 = 7 // replication anti-entropy delta
 )
 
 // Frame is one over-the-air message.

@@ -1,0 +1,377 @@
+// Package replica implements the replicated tuple space layer: each
+// node's space doubles as a grow/remove two-phase set whose elements are
+// origin-stamped tuples, synchronized between radio neighbors by
+// anti-entropy gossip (digests of per-origin version summaries, followed
+// by deltas carrying the entries a peer lacks). The model follows the
+// "message sets as a CRDT / tuple space" construction: adds and
+// tombstones both grow monotonically, merge is idempotent and
+// commutative, and a tombstone permanently wins over its add — a removed
+// tuple can never resurrect, whatever order deltas arrive in.
+//
+// The package is pure data structure and policy: it owns no timers and
+// sends no frames. internal/core drives it from each node's scheduling
+// context, which is what keeps gossip deterministic under both the
+// sequential and the sharded executor.
+package replica
+
+import (
+	"sort"
+
+	"github.com/agilla-go/agilla/internal/topology"
+	"github.com/agilla-go/agilla/internal/tuplespace"
+)
+
+// Origin names a replicated entry: the node that inserted the tuple and
+// that node's replication sequence number at the time. The pair is the
+// dedup key — gossip may deliver an entry many times over many paths, and
+// merge applies it once.
+type Origin struct {
+	Node topology.Location
+	Seq  uint16
+}
+
+// Entry is one element of the two-phase set: an origin-stamped tuple,
+// possibly tombstoned. A tombstoned entry keeps only its origin (the
+// tuple bytes are dropped); bare tombstones — a remove learned before its
+// add — are legal and block the add forever.
+type Entry struct {
+	Origin  Origin
+	Tuple   tuplespace.Tuple
+	Removed bool
+}
+
+// Summary is one digest line: the receiver's knowledge of one origin
+// node, compressed to the contiguous frontier of sequences it holds
+// (live or tombstoned — the highest seq with no gap below it) and an
+// order-independent hash of the tombstones it holds for that origin.
+// Two sets agree on an origin exactly when both figures match. The
+// frontier, not a raw maximum, is what makes convergence sound: a
+// tombstone that arrives before its add leaves a gap the add branch can
+// never fill, and a raw max would advertise right past it.
+type Summary struct {
+	Node    topology.Location
+	AddMax  uint16
+	RemHash uint32
+}
+
+// nodeState is the per-origin-node accumulator behind Digest.
+type nodeState struct {
+	remHash uint32
+}
+
+// Set is one node's replica store. Not safe for concurrent use; in the
+// simulation each set is confined to its node's scheduling context.
+type Set struct {
+	max     int // live+tombstoned entry budget for adds (tombstones always admitted)
+	live    int
+	entries map[Origin]*Entry
+	nodes   map[topology.Location]*nodeState
+}
+
+// NewSet creates a store that accepts up to max entries via Add
+// (tombstones are always recorded, so the remove half of the set can
+// never be starved by the cap). max <= 0 means unbounded.
+func NewSet(max int) *Set {
+	return &Set{
+		max:     max,
+		entries: make(map[Origin]*Entry),
+		nodes:   make(map[topology.Location]*nodeState),
+	}
+}
+
+// Len returns the number of entries, tombstones included.
+func (s *Set) Len() int { return len(s.entries) }
+
+// LiveCount returns the number of live (not tombstoned) entries.
+func (s *Set) LiveCount() int { return s.live }
+
+func (s *Set) node(loc topology.Location) *nodeState {
+	ns := s.nodes[loc]
+	if ns == nil {
+		ns = &nodeState{}
+		s.nodes[loc] = ns
+	}
+	return ns
+}
+
+// Add inserts a live entry. It reports whether the set changed: false if
+// the origin is already known (live or tombstoned — a tombstone blocks
+// its add forever) or the budget is exhausted.
+func (s *Set) Add(o Origin, t tuplespace.Tuple) bool {
+	if _, ok := s.entries[o]; ok {
+		return false
+	}
+	if s.max > 0 && len(s.entries) >= s.max {
+		return false
+	}
+	s.entries[o] = &Entry{Origin: o, Tuple: t}
+	s.live++
+	s.node(o.Node) // ensure the origin appears in digests
+	return true
+}
+
+// Tombstone marks the origin removed. It returns the tuple the entry held
+// if it was live, and reports whether the call changed state. An unknown
+// origin grows a bare tombstone (remove-before-add), which does not bump
+// the origin's AddMax — the summary must keep advertising the gap so the
+// surrounding adds still flow in.
+func (s *Set) Tombstone(o Origin) (prior tuplespace.Tuple, wasLive, changed bool) {
+	if e, ok := s.entries[o]; ok {
+		if e.Removed {
+			return tuplespace.Tuple{}, false, false
+		}
+		prior, wasLive = e.Tuple, true
+		e.Removed = true
+		e.Tuple = tuplespace.Tuple{}
+		s.live--
+	} else {
+		s.entries[o] = &Entry{Origin: o, Removed: true}
+	}
+	s.node(o.Node).remHash ^= dotHash(o)
+	return prior, wasLive, true
+}
+
+// Contains reports whether the origin is known, and whether it is
+// tombstoned.
+func (s *Set) Contains(o Origin) (removed, ok bool) {
+	e, ok := s.entries[o]
+	if !ok {
+		return false, false
+	}
+	return e.Removed, true
+}
+
+// Merge applies a batch of remote entries (a decoded delta), returning
+// how many adds and how many tombstones changed the set. Merge is
+// idempotent and order-insensitive at the set level; callers that need
+// per-entry effects drive Add/Tombstone directly instead.
+func (s *Set) Merge(entries []Entry) (added, removed int) {
+	for _, e := range entries {
+		if e.Removed {
+			if _, _, changed := s.Tombstone(e.Origin); changed {
+				removed++
+			}
+		} else if s.Add(e.Origin, e.Tuple) {
+			added++
+		}
+	}
+	return added, removed
+}
+
+// sortedNodes returns the known origin nodes in (Y, X) order — the
+// deterministic iteration order every wire-visible product uses.
+func (s *Set) sortedNodes() []topology.Location {
+	out := make([]topology.Location, 0, len(s.nodes))
+	for loc := range s.nodes {
+		out = append(out, loc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Y != out[j].Y {
+			return out[i].Y < out[j].Y
+		}
+		return out[i].X < out[j].X
+	})
+	return out
+}
+
+// sortedOf returns this origin node's entries in ascending sequence
+// order.
+func (s *Set) sortedOf(node topology.Location) []*Entry {
+	var out []*Entry
+	for o, e := range s.entries {
+		if o.Node == node {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin.Seq < out[j].Origin.Seq })
+	return out
+}
+
+// frontier returns the origin's contiguous knowledge frontier: the
+// largest seq such that every seq from 1 up to it is present, live or
+// tombstoned. Origins number their adds from 1, and deltas deliver adds
+// in ascending order with only suffix truncation, so per-origin
+// knowledge is always a prefix plus possibly scattered tombstones above
+// it (which the removal hash advertises separately).
+func (s *Set) frontier(node topology.Location) uint16 {
+	f := uint16(0)
+	for _, e := range s.sortedOf(node) {
+		if e.Origin.Seq != f+1 {
+			break
+		}
+		f++
+	}
+	return f
+}
+
+// Digest summarizes the set for anti-entropy: one line per known origin
+// node, sorted by location. An empty set digests to nil — which is still
+// worth sending, since it invites peers to stream everything back (the
+// recovery path).
+func (s *Set) Digest() []Summary {
+	nodes := s.sortedNodes()
+	out := make([]Summary, 0, len(nodes))
+	for _, loc := range nodes {
+		out = append(out, Summary{Node: loc, AddMax: s.frontier(loc), RemHash: s.nodes[loc].remHash})
+	}
+	return out
+}
+
+// NeedsFrom reports whether the peer's digest advertises state this set
+// lacks — if so, sending our own digest back will pull it.
+func (s *Set) NeedsFrom(peer []Summary) bool {
+	for _, l := range peer {
+		ns := s.nodes[l.Node]
+		if ns == nil {
+			if l.AddMax > 0 || l.RemHash != 0 {
+				return true
+			}
+			continue
+		}
+		if l.AddMax > s.frontier(l.Node) || l.RemHash != ns.remHash {
+			return true
+		}
+	}
+	return false
+}
+
+// DeltaFor computes the entries the peer (as described by its digest)
+// lacks, at most limit of them, in (origin node, sequence) order. Adds
+// above the peer's AddMax travel with their tuples; tombstones travel as
+// bare origins whenever the remove hashes disagree. Because entries are
+// emitted in ascending sequence order and truncation drops only a
+// suffix, the receiver's per-origin knowledge always stays a prefix —
+// the next digest round resumes exactly where the cap cut off.
+func (s *Set) DeltaFor(peer []Summary, limit int) []Entry {
+	ps := make(map[topology.Location]Summary, len(peer))
+	for _, l := range peer {
+		ps[l.Node] = l
+	}
+	var out []Entry
+	for _, node := range s.sortedNodes() {
+		p := ps[node] // zero Summary when the peer has never heard of node
+		wantAdds := s.frontier(node) > p.AddMax
+		wantRems := s.nodes[node].remHash != p.RemHash
+		if !wantAdds && !wantRems {
+			continue
+		}
+		for _, e := range s.sortedOf(node) {
+			if len(out) >= limit {
+				return out
+			}
+			switch {
+			case e.Removed && wantRems:
+				out = append(out, Entry{Origin: e.Origin, Removed: true})
+			case !e.Removed && e.Origin.Seq > p.AddMax:
+				out = append(out, *e)
+			}
+		}
+	}
+	return out
+}
+
+// Live returns the live entries in (origin node, sequence) order.
+func (s *Set) Live() []Entry {
+	var out []Entry
+	for _, node := range s.sortedNodes() {
+		for _, e := range s.sortedOf(node) {
+			if !e.Removed {
+				out = append(out, *e)
+			}
+		}
+	}
+	return out
+}
+
+// LiveMatch returns the first live entry (in Live order) whose tuple
+// matches the template — the responder-side fallback behind remote
+// rrdp/rinp when the local arena has no match.
+func (s *Set) LiveMatch(p tuplespace.Template) (Entry, bool) {
+	for _, node := range s.sortedNodes() {
+		for _, e := range s.sortedOf(node) {
+			if !e.Removed && p.Matches(e.Tuple) {
+				return *e, true
+			}
+		}
+	}
+	return Entry{}, false
+}
+
+// FindLocal returns the lowest-sequence live entry originated at node
+// whose tuple equals t — how a local Inp finds the entry to tombstone.
+func (s *Set) FindLocal(node topology.Location, t tuplespace.Tuple) (Origin, bool) {
+	for _, e := range s.sortedOf(node) {
+		if !e.Removed && e.Tuple.Equal(t) {
+			return e.Origin, true
+		}
+	}
+	return Origin{}, false
+}
+
+// fnv32a constants.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func fnv32a(h uint32, bs ...byte) uint32 {
+	for _, b := range bs {
+		h ^= uint32(b)
+		h *= fnvPrime32
+	}
+	return h
+}
+
+// dotHash hashes one origin for the removal summary. XOR-combining
+// per-dot hashes makes the summary order-independent and incrementally
+// maintainable: equal hashes mean equal tombstone sets (up to hash
+// collision, which only delays convergence until the next mutation).
+func dotHash(o Origin) uint32 {
+	return fnv32a(fnvOffset32,
+		byte(o.Node.X), byte(uint16(o.Node.X)>>8),
+		byte(o.Node.Y), byte(uint16(o.Node.Y)>>8),
+		byte(o.Seq), byte(o.Seq>>8))
+}
+
+// --- affinity groups ----------------------------------------------------
+
+// KeyOf returns the tuple's placement key: the encoding of its first
+// field. ok is false for the empty tuple, which has no key and hashes
+// nowhere.
+func KeyOf(t tuplespace.Tuple) ([]byte, bool) {
+	if len(t.Fields) == 0 {
+		return nil, false
+	}
+	return t.Fields[0].Marshal(nil), true
+}
+
+// KeyOfTemplate returns the template's placement key, if its first field
+// is concrete. A leading wildcard (KindType) has no key — queries built
+// on it cannot be routed by group and fall back to fan-out.
+func KeyOfTemplate(p tuplespace.Template) ([]byte, bool) {
+	if len(p.Fields) == 0 || p.Fields[0].Kind == tuplespace.KindType {
+		return nil, false
+	}
+	return p.Fields[0].Marshal(nil), true
+}
+
+// GroupOfKey hashes a placement key to its affinity group in [0, groups).
+func GroupOfKey(key []byte, groups int) int {
+	if groups <= 1 {
+		return 0
+	}
+	return int(fnv32a(fnvOffset32, key...) % uint32(groups))
+}
+
+// GroupOfNode hashes a node location to the affinity group it belongs to.
+// Group routing asks a key's group members first: with gossip replication
+// any node can answer, so the group is a lookup bias (kelips-style O(1)
+// placement), not a storage partition.
+func GroupOfNode(loc topology.Location, groups int) int {
+	if groups <= 1 {
+		return 0
+	}
+	return int(fnv32a(fnvOffset32,
+		byte(loc.X), byte(uint16(loc.X)>>8),
+		byte(loc.Y), byte(uint16(loc.Y)>>8)) % uint32(groups))
+}

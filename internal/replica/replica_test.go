@@ -1,0 +1,196 @@
+package replica
+
+import (
+	"testing"
+
+	"github.com/agilla-go/agilla/internal/topology"
+	"github.com/agilla-go/agilla/internal/tuplespace"
+)
+
+func tup(v int16) tuplespace.Tuple {
+	return tuplespace.T(tuplespace.Str("k"), tuplespace.Int(v))
+}
+
+func origin(x, y int16, seq uint16) Origin {
+	return Origin{Node: topology.Loc(x, y), Seq: seq}
+}
+
+func TestAddDedupAndTombstoneWins(t *testing.T) {
+	s := NewSet(0)
+	o := origin(1, 1, 1)
+	if !s.Add(o, tup(7)) {
+		t.Fatal("first add rejected")
+	}
+	if s.Add(o, tup(7)) {
+		t.Fatal("duplicate add accepted")
+	}
+	prior, wasLive, changed := s.Tombstone(o)
+	if !changed || !wasLive || !prior.Equal(tup(7)) {
+		t.Fatalf("tombstone: prior=%v wasLive=%v changed=%v", prior, wasLive, changed)
+	}
+	if _, _, changed := s.Tombstone(o); changed {
+		t.Fatal("tombstone not idempotent")
+	}
+	// The add must never come back, in any order.
+	if s.Add(o, tup(7)) {
+		t.Fatal("add resurrected a tombstoned entry")
+	}
+	if s.LiveCount() != 0 {
+		t.Fatalf("live = %d, want 0", s.LiveCount())
+	}
+}
+
+func TestRemoveBeforeAdd(t *testing.T) {
+	s := NewSet(0)
+	o := origin(2, 3, 5)
+	if _, wasLive, changed := s.Tombstone(o); !changed || wasLive {
+		t.Fatal("bare tombstone not recorded")
+	}
+	if s.Add(o, tup(1)) {
+		t.Fatal("add applied over a bare tombstone")
+	}
+	// A bare tombstone must not advance AddMax: the peer's adds below the
+	// gap still need to flow.
+	for _, l := range s.Digest() {
+		if l.AddMax != 0 {
+			t.Fatalf("AddMax = %d after bare tombstone, want 0", l.AddMax)
+		}
+	}
+}
+
+func TestDigestDeltaConvergence(t *testing.T) {
+	a, b := NewSet(0), NewSet(0)
+	// a holds entries from two origins, with one tombstone; b holds a
+	// disjoint entry.
+	a.Add(origin(1, 1, 1), tup(1))
+	a.Add(origin(1, 1, 2), tup(2))
+	a.Add(origin(4, 2, 1), tup(3))
+	a.Tombstone(origin(1, 1, 2))
+	b.Add(origin(2, 5, 1), tup(9))
+
+	// Anti-entropy rounds until quiescent: each side deltas what the
+	// other's digest shows missing.
+	for i := 0; i < 4; i++ {
+		b.Merge(a.DeltaFor(b.Digest(), 100))
+		a.Merge(b.DeltaFor(a.Digest(), 100))
+	}
+	if a.Len() != b.Len() || a.LiveCount() != b.LiveCount() {
+		t.Fatalf("sets diverge: a=%d/%d b=%d/%d", a.Len(), a.LiveCount(), b.Len(), b.LiveCount())
+	}
+	if a.NeedsFrom(b.Digest()) || b.NeedsFrom(a.Digest()) {
+		t.Fatal("converged sets still report divergence")
+	}
+	if removed, ok := b.Contains(origin(1, 1, 2)); !ok || !removed {
+		t.Fatal("tombstone did not propagate")
+	}
+	if got := len(b.Live()); got != 3 {
+		t.Fatalf("b has %d live entries, want 3", got)
+	}
+}
+
+func TestDeltaCapKeepsPrefix(t *testing.T) {
+	a, b := NewSet(0), NewSet(0)
+	for i := uint16(1); i <= 10; i++ {
+		a.Add(origin(1, 1, i), tup(int16(i)))
+	}
+	// Pull with a tiny cap: each round must extend b's prefix, never
+	// leave a hole.
+	for round := 0; round < 10 && b.NeedsFrom(a.Digest()); round++ {
+		b.Merge(a.DeltaFor(b.Digest(), 3))
+		max := b.Digest()[0].AddMax
+		for i := uint16(1); i <= max; i++ {
+			if _, ok := b.Contains(origin(1, 1, i)); !ok {
+				t.Fatalf("hole at seq %d below AddMax %d", i, max)
+			}
+		}
+	}
+	if b.LiveCount() != 10 {
+		t.Fatalf("b converged to %d entries, want 10", b.LiveCount())
+	}
+}
+
+func TestDivergentTombstonesConverge(t *testing.T) {
+	// Both sides hold the same adds but tombstone different entries —
+	// counts match, so only the removal hash can expose the divergence.
+	a, b := NewSet(0), NewSet(0)
+	for i := uint16(1); i <= 3; i++ {
+		a.Add(origin(1, 1, i), tup(int16(i)))
+		b.Add(origin(1, 1, i), tup(int16(i)))
+	}
+	a.Tombstone(origin(1, 1, 1))
+	b.Tombstone(origin(1, 1, 2))
+	for i := 0; i < 3; i++ {
+		b.Merge(a.DeltaFor(b.Digest(), 100))
+		a.Merge(b.DeltaFor(a.Digest(), 100))
+	}
+	if a.LiveCount() != 1 || b.LiveCount() != 1 {
+		t.Fatalf("live counts %d/%d after converge, want 1/1", a.LiveCount(), b.LiveCount())
+	}
+	if a.NeedsFrom(b.Digest()) || b.NeedsFrom(a.Digest()) {
+		t.Fatal("divergent tombstones never converged")
+	}
+}
+
+func TestCapAdmitsTombstones(t *testing.T) {
+	s := NewSet(2)
+	s.Add(origin(1, 1, 1), tup(1))
+	s.Add(origin(1, 1, 2), tup(2))
+	if s.Add(origin(1, 1, 3), tup(3)) {
+		t.Fatal("add accepted past the cap")
+	}
+	if _, _, changed := s.Tombstone(origin(9, 9, 1)); !changed {
+		t.Fatal("tombstone rejected at cap — removes must never starve")
+	}
+}
+
+func TestFindLocalAndLiveMatch(t *testing.T) {
+	s := NewSet(0)
+	self := topology.Loc(3, 3)
+	s.Add(Origin{Node: self, Seq: 1}, tup(5))
+	s.Add(Origin{Node: self, Seq: 2}, tup(5)) // identical tuple, later dot
+	o, ok := s.FindLocal(self, tup(5))
+	if !ok || o.Seq != 1 {
+		t.Fatalf("FindLocal = %v/%v, want seq 1", o, ok)
+	}
+	s.Tombstone(o)
+	o, ok = s.FindLocal(self, tup(5))
+	if !ok || o.Seq != 2 {
+		t.Fatalf("FindLocal after tombstone = %v/%v, want seq 2", o, ok)
+	}
+	if _, ok := s.LiveMatch(tuplespace.Tmpl(tuplespace.Str("k"), tuplespace.Int(5))); !ok {
+		t.Fatal("LiveMatch missed a live entry")
+	}
+	if _, ok := s.LiveMatch(tuplespace.Tmpl(tuplespace.Str("zz"))); ok {
+		t.Fatal("LiveMatch matched nothing it should")
+	}
+}
+
+func TestAffinityGroups(t *testing.T) {
+	key, ok := KeyOf(tup(1))
+	if !ok {
+		t.Fatal("KeyOf rejected a keyed tuple")
+	}
+	if _, ok := KeyOf(tuplespace.T()); ok {
+		t.Fatal("KeyOf accepted the empty tuple")
+	}
+	// Template with a concrete first field routes; a leading wildcard
+	// cannot.
+	if _, ok := KeyOfTemplate(tuplespace.Tmpl(tuplespace.Str("k"), tuplespace.TypeV(tuplespace.TypeValue))); !ok {
+		t.Fatal("concrete-keyed template did not yield a key")
+	}
+	if _, ok := KeyOfTemplate(tuplespace.Tmpl(tuplespace.TypeV(tuplespace.TypeString))); ok {
+		t.Fatal("wildcard-keyed template yielded a key")
+	}
+	g := GroupOfKey(key, 4)
+	if g < 0 || g >= 4 {
+		t.Fatalf("group %d out of range", g)
+	}
+	// The tuple and the template matching it must land in the same group.
+	tkey, _ := KeyOfTemplate(tuplespace.Tmpl(tuplespace.Str("k"), tuplespace.Int(1)))
+	if GroupOfKey(tkey, 4) != g {
+		t.Fatal("tuple and matching template hash to different groups")
+	}
+	if GroupOfNode(topology.Loc(1, 1), 1) != 0 {
+		t.Fatal("single group must be group 0")
+	}
+}

@@ -27,6 +27,9 @@ type Space struct {
 	// registry and blocked-agent wakeups here; host-side watches come
 	// and go), keyed by registration id so they can be removed.
 	onInsert []insertObserver
+	// onRemove observers fire after each successful Inp (the replication
+	// layer tracks tombstones through this hook).
+	onRemove []insertObserver
 	obsSeq   int
 }
 
@@ -58,6 +61,24 @@ func (s *Space) OnInsert(fn func(Tuple)) (remove func()) {
 		for i, o := range s.onInsert {
 			if o.id == id {
 				s.onInsert = append(s.onInsert[:i], s.onInsert[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// OnRemove registers an observer called after each successful Inp with
+// the removed tuple, in registration order. The returned func
+// unregisters it. Unregistering from within an observer is not
+// supported.
+func (s *Space) OnRemove(fn func(Tuple)) (remove func()) {
+	s.obsSeq++
+	id := s.obsSeq
+	s.onRemove = append(s.onRemove, insertObserver{id: id, fn: fn})
+	return func() {
+		for i, o := range s.onRemove {
+			if o.id == id {
+				s.onRemove = append(s.onRemove[:i], s.onRemove[i+1:]...)
 				return
 			}
 		}
@@ -112,6 +133,9 @@ func (s *Space) Inp(p Template) (Tuple, bool) {
 	s.arena = s.arena[:s.used-sz]
 	s.used -= sz
 	s.count--
+	for _, o := range s.onRemove {
+		o.fn(t)
+	}
 	return t, true
 }
 

@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"testing"
+
+	"github.com/agilla-go/agilla/internal/replica"
+	"github.com/agilla-go/agilla/internal/topology"
+	"github.com/agilla-go/agilla/internal/tuplespace"
+)
+
+func TestReplicaDigestRoundTrip(t *testing.T) {
+	in := ReplicaDigest{
+		Reply: true,
+		Lines: []replica.Summary{
+			{Node: topology.Loc(1, 2), AddMax: 7, RemHash: 0xdeadbeef},
+			{Node: topology.Loc(-3, 4), AddMax: 0, RemHash: 0},
+		},
+	}
+	out, err := DecodeReplicaDigest(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Reply || len(out.Lines) != 2 {
+		t.Fatalf("round trip lost shape: %+v", out)
+	}
+	for i := range in.Lines {
+		if out.Lines[i] != in.Lines[i] {
+			t.Fatalf("line %d: got %+v want %+v", i, out.Lines[i], in.Lines[i])
+		}
+	}
+	// Empty digest is legal (a recovered node's opening move).
+	empty, err := DecodeReplicaDigest(ReplicaDigest{}.Encode())
+	if err != nil || len(empty.Lines) != 0 || empty.Reply {
+		t.Fatalf("empty digest round trip: %+v, %v", empty, err)
+	}
+}
+
+func TestReplicaDeltaRoundTrip(t *testing.T) {
+	in := ReplicaDelta{Entries: []replica.Entry{
+		{
+			Origin: replica.Origin{Node: topology.Loc(5, 5), Seq: 3},
+			Tuple:  tuplespace.T(tuplespace.Str("sv"), tuplespace.Int(12)),
+		},
+		{Origin: replica.Origin{Node: topology.Loc(2, 1), Seq: 9}, Removed: true},
+	}}
+	out, err := DecodeReplicaDelta(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(out.Entries))
+	}
+	if out.Entries[0].Origin != in.Entries[0].Origin || !out.Entries[0].Tuple.Equal(in.Entries[0].Tuple) {
+		t.Fatalf("live entry mangled: %+v", out.Entries[0])
+	}
+	if !out.Entries[1].Removed || len(out.Entries[1].Tuple.Fields) != 0 {
+		t.Fatalf("tombstone mangled: %+v", out.Entries[1])
+	}
+}
+
+func TestReplicaDecodeRejectsTruncation(t *testing.T) {
+	enc := ReplicaDigest{Lines: []replica.Summary{{Node: topology.Loc(1, 1), AddMax: 1}}}.Encode()
+	if _, err := DecodeReplicaDigest(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated digest decoded")
+	}
+	denc := ReplicaDelta{Entries: []replica.Entry{{
+		Origin: replica.Origin{Node: topology.Loc(1, 1), Seq: 1},
+		Tuple:  tuplespace.T(tuplespace.Int(1)),
+	}}}.Encode()
+	if _, err := DecodeReplicaDelta(denc[:5]); err == nil {
+		t.Fatal("truncated delta decoded")
+	}
+}

@@ -2,6 +2,7 @@ package agilla
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/agilla-go/agilla/internal/core"
 	"github.com/agilla-go/agilla/internal/radio"
@@ -20,15 +21,25 @@ func LossyRadio() RadioParams { return radio.Lossy() }
 // loss.
 func ReliableRadio() RadioParams { return radio.ZeroLoss() }
 
+// Replication configures the gossip CRDT replication layer: each mote's
+// tuple space doubles as a replicated two-phase set synchronized to K
+// radio neighbors by anti-entropy gossip every Period, tuple keys hash to
+// one of Groups affinity groups for routed lookups, and MaxEntries caps
+// each mote's replica store. Zero fields select defaults (K=2, Period=
+// 500ms, Groups=4, MaxEntries=128). See WithReplication and the README's
+// "Replication" section.
+type Replication = core.Replication
+
 // settings is the resolved configuration behind New.
 type settings struct {
-	topo    Topology
-	seed    int64
-	radio   *radio.Params
-	field   Field
-	node    NodeConfig
-	energy  *EnergyModel
-	workers int
+	topo        Topology
+	seed        int64
+	radio       *radio.Params
+	field       Field
+	node        NodeConfig
+	energy      *EnergyModel
+	workers     int
+	replication *core.Replication
 }
 
 // Option configures New.
@@ -72,6 +83,24 @@ func WithEnergy(m EnergyModel) Option {
 	return func(s *settings) { cp := m; s.energy = &cp }
 }
 
+// WithReplication turns on the gossip CRDT replication layer: every mote
+// gossips its tuple-space replica to k radio neighbors each period, so a
+// tuple survives its node's death, a remote rrdp/rinp can be answered
+// from any mote's replica when the arena misses, and a recovered mote
+// gets its own tuples streamed back by its neighbors (TupleRecovered
+// events). Values of 0 select the defaults (k=2, period 500ms). Gossip
+// frames cost energy under WithEnergy like all other radio traffic.
+// For the remaining knobs (affinity Groups, MaxEntries) use
+// WithReplicationConfig.
+func WithReplication(k int, period time.Duration) Option {
+	return WithReplicationConfig(Replication{K: k, Period: period})
+}
+
+// WithReplicationConfig is WithReplication with every knob exposed.
+func WithReplicationConfig(r Replication) Option {
+	return func(s *settings) { cp := r; s.replication = &cp }
+}
+
 // WithWorkers runs the simulation kernel on n parallel workers. The
 // deployment is partitioned into n spatial shards that execute
 // concurrently inside time windows bounded by the radio's minimum frame
@@ -108,13 +137,14 @@ func New(opts ...Option) (*Network, error) {
 		return nil, fmt.Errorf("agilla: %w", err)
 	}
 	d, err := core.NewDeployment(core.DeploymentSpec{
-		Layout:  layout,
-		Seed:    s.seed,
-		Radio:   s.radio,
-		Node:    s.node,
-		Field:   s.field,
-		Energy:  s.energy,
-		Workers: s.workers,
+		Layout:      layout,
+		Seed:        s.seed,
+		Radio:       s.radio,
+		Node:        s.node,
+		Field:       s.field,
+		Energy:      s.energy,
+		Workers:     s.workers,
+		Replication: s.replication,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("agilla: %w", err)

@@ -65,6 +65,9 @@ type Scenario struct {
 	// Energy gives every mote a battery under the given model (see
 	// WithEnergy); nil disables energy accounting.
 	Energy *EnergyModel
+	// Replication turns on the gossip CRDT replication layer (see
+	// WithReplication); nil disables it.
+	Replication *Replication
 	// Faults is a declarative world script: kills, revivals, and moves
 	// applied at absolute virtual times (warm-up time counts; the
 	// paper-default warm-up ends at 5s). Events that resolve to nothing
@@ -122,6 +125,10 @@ type Metrics struct {
 	// EnergyUsedJ is the network-wide battery drain in joules (0 without
 	// an energy model).
 	EnergyUsedJ float64
+	// Replication census: TuplesReplicated counts replica entries
+	// accepted from gossip deltas network-wide, TuplesRecovered tuples
+	// streamed back onto revived originators (both 0 without Replication).
+	TuplesReplicated, TuplesRecovered uint64
 	// Values holds scenario-specific measurements from Play/Collect.
 	Values map[string]float64
 }
@@ -183,6 +190,9 @@ func (s *Scenario) run(ctx context.Context, seed int64) (*Metrics, error) {
 	}
 	if s.Energy != nil {
 		opts = append(opts, WithEnergy(*s.Energy))
+	}
+	if s.Replication != nil {
+		opts = append(opts, WithReplicationConfig(*s.Replication))
 	}
 	if s.Workers > 1 {
 		opts = append(opts, WithWorkers(s.Workers))
@@ -301,6 +311,8 @@ func (s *Scenario) run(ctx context.Context, seed int64) (*Metrics, error) {
 	m.NodesRecovered = int(ws.Revives)
 	m.NodesMoved = int(ws.Moves)
 	m.EnergyUsedJ = nw.d.EnergyUsedJ()
+	m.TuplesReplicated = stats.TuplesReplicated
+	m.TuplesRecovered = stats.TuplesRecovered
 	if s.Collect != nil {
 		s.Collect(nw, m)
 	}

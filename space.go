@@ -96,9 +96,10 @@ func (sp Space) All() []Tuple {
 //
 // A watch observes one incarnation of the node's space: if the node dies
 // (churn, energy exhaustion, Kill), its volatile space is destroyed and
-// the watch goes silent — matches stop, but the channel stays open until
-// Network.Close so already-queued tuples remain readable. Re-Watch after
-// a revival to observe the new space.
+// the watch terminates — already-queued tuples remain readable, then the
+// channel closes, so ranging over a watch ends at whichever comes first
+// of node death and Network.Close. Re-Watch after a revival to observe
+// the new space. A watch follows its node through relocations.
 func (sp Space) Watch(p Template) <-chan Tuple {
 	st := newStream[Tuple]()
 	n := sp.nw.d.Node(sp.loc)
@@ -108,7 +109,7 @@ func (sp Space) Watch(p Template) <-chan Tuple {
 	}
 	// Closing unregisters the matcher too, so a finished watch costs the
 	// node's insert path nothing.
-	sp.nw.registerWatch(func() func() {
+	sp.nw.registerWatch(sp.loc, func() func() {
 		return n.Space().OnInsert(func(t Tuple) {
 			if p.Matches(t) {
 				st.push(t)
