@@ -1,0 +1,88 @@
+package agilla_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/agilla-go/agilla"
+	"github.com/agilla-go/agilla/program"
+)
+
+func admissionNetwork(t *testing.T, budgetJ float64) *agilla.Network {
+	t.Helper()
+	nw, err := agilla.New(agilla.WithSeed(1), agilla.WithAdmissionBudget(budgetJ))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := nw.WarmUp(); err != nil {
+		t.Fatalf("WarmUp: %v", err)
+	}
+	return nw
+}
+
+// With a zero budget, admission rejects only programs the analysis
+// cannot certify: unbounded bursts and guaranteed runtime errors.
+func TestAdmissionRejectsUnbounded(t *testing.T) {
+	nw := admissionNetwork(t, 0)
+	dest := nw.Locations()[0]
+
+	// A busy loop that never yields has no finite per-burst bound.
+	loop := program.MustParse(`
+		TOP pushc 1
+		    pop
+		    rjump TOP
+	`)
+	if _, err := nw.Launch(loop, dest); !errors.Is(err, agilla.ErrAdmission) {
+		t.Errorf("Launch(busy loop) = %v, want ErrAdmission", err)
+	}
+
+	// A guaranteed type mismatch is an error-level finding.
+	bad := program.MustParse("pushc 5\nsmove\nhalt\n")
+	if _, err := nw.Launch(bad, dest); !errors.Is(err, agilla.ErrAdmission) {
+		t.Errorf("Launch(type mismatch) = %v, want ErrAdmission", err)
+	}
+
+	// Every library agent certifies under a zero budget.
+	for _, e := range program.Library() {
+		if _, err := nw.Launch(e.Program, dest); err != nil {
+			t.Errorf("Launch(%s) = %v, want admission", e.Name, err)
+		}
+	}
+}
+
+// A positive budget additionally caps the certified per-burst bound.
+func TestAdmissionBudgetCapsBound(t *testing.T) {
+	nw := admissionNetwork(t, 1e-9) // 1 nJ: nothing fits
+	dest := nw.Locations()[0]
+	blink := program.Library()[0].Program
+	_, err := nw.Launch(blink, dest)
+	if !errors.Is(err, agilla.ErrAdmission) {
+		t.Fatalf("Launch under 1 nJ budget = %v, want ErrAdmission", err)
+	}
+
+	// A generous budget admits the same agent.
+	nw2 := admissionNetwork(t, 1.0)
+	if _, err := nw2.Launch(blink, dest); err != nil {
+		t.Errorf("Launch under 1 J budget = %v, want admission", err)
+	}
+}
+
+// Without WithAdmissionBudget, Launch performs no analysis and accepts
+// any verified program, preserving the pre-admission behavior.
+func TestNoAdmissionByDefault(t *testing.T) {
+	nw, err := agilla.New(agilla.WithSeed(1))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := nw.WarmUp(); err != nil {
+		t.Fatalf("WarmUp: %v", err)
+	}
+	loop := program.MustParse(`
+		TOP pushc 1
+		    pop
+		    rjump TOP
+	`)
+	if _, err := nw.Launch(loop, nw.Locations()[0]); err != nil {
+		t.Errorf("Launch without admission = %v, want nil", err)
+	}
+}

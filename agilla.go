@@ -155,6 +155,12 @@ var ErrRemoteTimeout = core.ErrRemoteTimeout
 // operations wrap it; test with errors.Is.
 var ErrNoSuchNode = errors.New("agilla: no such node")
 
+// ErrAdmission reports that Launch rejected a program under
+// WithAdmissionBudget: the static analysis found error-level defects, no
+// finite per-burst energy bound, or a bound above the configured budget.
+// The wrapped error carries the findings; test with errors.Is.
+var ErrAdmission = errors.New("agilla: admission rejected program")
+
 // Program is a verified agent program — the one currency accepted by
 // Launch, whichever way it was authored. Build one with the program
 // package: program.New() for the typed builder, program.Parse for
@@ -208,8 +214,33 @@ func Disassemble(code []byte) (string, error) { return asm.Disassemble(code) }
 
 // Network is a running Agilla deployment.
 type Network struct {
-	d  *core.Deployment
-	ev events
+	d         *core.Deployment
+	ev        events
+	admission *admission
+}
+
+// admission is the resolved WithAdmissionBudget policy: the per-burst
+// joule cap (0 = no cap, reject only uncertifiable programs) and the
+// deployment's energy calibration for the static bound.
+type admission struct {
+	budgetJ float64
+	costs   program.EnergyCosts
+}
+
+// check analyzes p and returns the admission decision.
+func (a *admission) check(p *Program) error {
+	rep := program.AnalyzeWithCosts(p, a.costs)
+	if err := rep.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrAdmission, err)
+	}
+	if rep.EnergyUnbounded {
+		return fmt.Errorf("%w: no finite energy bound (%s)", ErrAdmission, rep.UnboundedPos)
+	}
+	if a.budgetJ > 0 && rep.EnergyBoundJ() > a.budgetJ {
+		return fmt.Errorf("%w: worst-case burst %.2g J exceeds budget %.2g J",
+			ErrAdmission, rep.EnergyBoundJ(), a.budgetJ)
+	}
+	return nil
 }
 
 // Topology returns the name of the deployment's layout.
@@ -269,13 +300,20 @@ func (nw *Network) RunUntil(pred func() bool, limit time.Duration) (bool, error)
 //	p := program.New("ping").MoveTo(dest).Halt().MustBuild()
 //	ag, err := nw.Launch(p, dest)
 //
-// Launching at a location with no node fails with ErrNoSuchNode.
+// Launching at a location with no node fails with ErrNoSuchNode. Under
+// WithAdmissionBudget, programs the static analysis cannot certify
+// within the budget fail with ErrAdmission.
 func (nw *Network) Launch(p *Program, dest Location) (*Agent, error) {
 	if p == nil {
 		return nil, fmt.Errorf("agilla: Launch needs a program")
 	}
 	if nw.d.Node(dest) == nil {
 		return nil, fmt.Errorf("%w at %v", ErrNoSuchNode, dest)
+	}
+	if nw.admission != nil {
+		if err := nw.admission.check(p); err != nil {
+			return nil, err
+		}
 	}
 	id, err := nw.d.Base.InjectAgent(p.Bytes(), dest)
 	if err != nil {

@@ -11,11 +11,15 @@
 //	agilla asm prog.agilla -o prog.bin            # assemble + verify
 //	agilla asm prog.agilla                        # ... and print the report
 //	agilla disasm prog.bin                        # bytecode (or source) -> listing
+//	agilla vet -strict -lib examples/agents       # dataflow + energy analysis
 //
 // The program file uses the assembly dialect of the paper's Figures 2, 8,
 // and 13; see the program package. The asm subcommand runs the static
 // verifier and reports size, instruction count, and worst-case stack
-// depth; disasm accepts either raw bytecode or source text. After a
+// depth; disasm accepts either raw bytecode or source text; vet runs the
+// full static dataflow and energy analysis (program.Analyze) over source
+// files, bytecode, directories, or library agent names and fails on
+// error-level findings (see its -budget and -strict flags). After a
 // simulation run the tool dumps every node's tuple space and agent
 // census.
 package main
@@ -41,6 +45,8 @@ func main() {
 		err = runAsm(args[1:])
 	case len(args) > 0 && args[0] == "disasm":
 		err = runDisasm(args[1:])
+	case len(args) > 0 && args[0] == "vet":
+		err = runVet(args[1:])
 	default:
 		err = run(args)
 	}

@@ -91,6 +91,27 @@ func Assemble(src string) ([]byte, error) {
 // alongside the bytecode, so callers (package program) need not verify
 // a second time.
 func AssembleReport(src string) ([]byte, vm.VerifyReport, error) {
+	code, rep, _, err := AssembleWithLines(src)
+	return code, rep, err
+}
+
+// AssembleWithLines is AssembleReport additionally returning a map from
+// each instruction's byte address to its 1-based source line, so callers
+// (program.Analyze, agilla vet) can position later analysis findings the
+// same way verification findings are positioned here.
+func AssembleWithLines(src string) ([]byte, vm.VerifyReport, map[int]int, error) {
+	code, rep, stmts, err := assemble(src)
+	if err != nil {
+		return nil, vm.VerifyReport{}, nil, err
+	}
+	pcLines := make(map[int]int, len(stmts))
+	for _, st := range stmts {
+		pcLines[st.addr] = st.line
+	}
+	return code, rep, pcLines, nil
+}
+
+func assemble(src string) ([]byte, vm.VerifyReport, []stmt, error) {
 	lines := strings.Split(src, "\n")
 	labels := make(map[string]int)
 	consts := make(map[string]int16)
@@ -112,11 +133,11 @@ func AssembleReport(src string) ([]byte, vm.VerifyReport, error) {
 		// .const NAME VALUE directive.
 		if fields[0] == ".const" {
 			if len(fields) != 3 {
-				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: %q: want .const NAME VALUE", ln+1, ErrSyntax, strings.Join(fields, " "))
+				return nil, vm.VerifyReport{}, nil, fmt.Errorf("line %d: %w: %q: want .const NAME VALUE", ln+1, ErrSyntax, strings.Join(fields, " "))
 			}
 			v, err := parseInt(fields[2], -32768, 32767)
 			if err != nil {
-				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w (.const %s)", ln+1, err, fields[1])
+				return nil, vm.VerifyReport{}, nil, fmt.Errorf("line %d: %w (.const %s)", ln+1, err, fields[1])
 			}
 			consts[fields[1]] = int16(v)
 			continue
@@ -136,7 +157,7 @@ func AssembleReport(src string) ([]byte, vm.VerifyReport, error) {
 				break
 			}
 			if _, dup := labels[name]; dup {
-				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: duplicate label %q", ln+1, ErrSyntax, name)
+				return nil, vm.VerifyReport{}, nil, fmt.Errorf("line %d: %w: duplicate label %q", ln+1, ErrSyntax, name)
 			}
 			labels[name] = addr
 			fields = fields[1:]
@@ -146,14 +167,14 @@ func AssembleReport(src string) ([]byte, vm.VerifyReport, error) {
 		}
 		op, ok := vm.ByName(strings.ToLower(fields[0]))
 		if !ok {
-			return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: unknown instruction %q", ln+1, ErrSyntax, fields[0])
+			return nil, vm.VerifyReport{}, nil, fmt.Errorf("line %d: %w: unknown instruction %q", ln+1, ErrSyntax, fields[0])
 		}
 		info, _ := vm.Lookup(op)
 		st := stmt{line: ln + 1, op: op, info: info, args: fields[1:], addr: addr}
 		stmts = append(stmts, st)
 		addr += 1 + info.Operands
 		if addr > 65535 {
-			return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: %q pushes the program past 65535 bytes", st.line, ErrSyntax, fields[0])
+			return nil, vm.VerifyReport{}, nil, fmt.Errorf("line %d: %w: %q pushes the program past 65535 bytes", st.line, ErrSyntax, fields[0])
 		}
 	}
 
@@ -177,7 +198,7 @@ func AssembleReport(src string) ([]byte, vm.VerifyReport, error) {
 	code := make([]byte, 0, addr)
 	for _, st := range stmts {
 		if err := checkArity(st); err != nil {
-			return nil, vm.VerifyReport{}, err
+			return nil, vm.VerifyReport{}, nil, err
 		}
 		code = append(code, byte(st.op))
 		// Operand encoding is driven by the ISA metadata's operand kind;
@@ -190,28 +211,28 @@ func AssembleReport(src string) ([]byte, vm.VerifyReport, error) {
 		case vm.OperandU8: // pushc
 			v, err := resolve(st.args[0], st)
 			if err != nil {
-				return nil, vm.VerifyReport{}, err
+				return nil, vm.VerifyReport{}, nil, err
 			}
 			if v < 0 || v > 255 {
-				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: %s operand %q = %d out of [0,255]; use pushcl", st.line, ErrSyntax, st.info.Name, st.args[0], v)
+				return nil, vm.VerifyReport{}, nil, fmt.Errorf("line %d: %w: %s operand %q = %d out of [0,255]; use pushcl", st.line, ErrSyntax, st.info.Name, st.args[0], v)
 			}
 			code = append(code, byte(v))
 
 		case vm.OperandS16: // pushcl
 			v, err := resolve(st.args[0], st)
 			if err != nil {
-				return nil, vm.VerifyReport{}, err
+				return nil, vm.VerifyReport{}, nil, err
 			}
 			code = append(code, byte(uint16(v)>>8), byte(uint16(v)))
 
 		case vm.OperandName3: // pushn
 			name := strings.Trim(st.args[0], `"`)
 			if len(name) == 0 || len(name) > tuplespace.MaxStringLen {
-				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: pushn name %q must be 1-%d chars", st.line, ErrSyntax, st.args[0], tuplespace.MaxStringLen)
+				return nil, vm.VerifyReport{}, nil, fmt.Errorf("line %d: %w: pushn name %q must be 1-%d chars", st.line, ErrSyntax, st.args[0], tuplespace.MaxStringLen)
 			}
 			for i := 0; i < len(name); i++ {
 				if !vm.ValidNameByte(name[i]) {
-					return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: pushn name %q: %q is not a printable name character", st.line, ErrSyntax, name, name[i])
+					return nil, vm.VerifyReport{}, nil, fmt.Errorf("line %d: %w: pushn name %q: %q is not a printable name character", st.line, ErrSyntax, name, name[i])
 				}
 			}
 			var buf [3]byte
@@ -227,35 +248,35 @@ func AssembleReport(src string) ([]byte, vm.VerifyReport, error) {
 				var err error
 				v, err = resolve(tok, st)
 				if err != nil {
-					return nil, vm.VerifyReport{}, err
+					return nil, vm.VerifyReport{}, nil, err
 				}
 			}
 			if v < 0 || v > 255 {
-				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: pusht code %q = %d out of [0,255]", st.line, ErrSyntax, tok, v)
+				return nil, vm.VerifyReport{}, nil, fmt.Errorf("line %d: %w: pusht code %q = %d out of [0,255]", st.line, ErrSyntax, tok, v)
 			}
 			code = append(code, byte(v))
 
 		case vm.OperandSensor: // pushrt
 			v, err := resolve(st.args[0], st)
 			if err != nil {
-				return nil, vm.VerifyReport{}, err
+				return nil, vm.VerifyReport{}, nil, err
 			}
 			if v < 0 || v > 255 {
-				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: pushrt sensor %q = %d out of [0,255]", st.line, ErrSyntax, st.args[0], v)
+				return nil, vm.VerifyReport{}, nil, fmt.Errorf("line %d: %w: pushrt sensor %q = %d out of [0,255]", st.line, ErrSyntax, st.args[0], v)
 			}
 			code = append(code, byte(v))
 
 		case vm.OperandLoc: // pushloc
 			x, err := resolve(st.args[0], st)
 			if err != nil {
-				return nil, vm.VerifyReport{}, err
+				return nil, vm.VerifyReport{}, nil, err
 			}
 			y, err := resolve(st.args[1], st)
 			if err != nil {
-				return nil, vm.VerifyReport{}, err
+				return nil, vm.VerifyReport{}, nil, err
 			}
 			if x < -128 || x > 127 || y < -128 || y > 127 {
-				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: pushloc coordinates %q %q out of [-128,127]", st.line, ErrSyntax, st.args[0], st.args[1])
+				return nil, vm.VerifyReport{}, nil, fmt.Errorf("line %d: %w: pushloc coordinates %q %q out of [-128,127]", st.line, ErrSyntax, st.args[0], st.args[1])
 			}
 			code = append(code, byte(int8(x)), byte(int8(y)))
 
@@ -266,27 +287,27 @@ func AssembleReport(src string) ([]byte, vm.VerifyReport, error) {
 			} else {
 				v, err := parseInt(st.args[0], -128, 127)
 				if err != nil {
-					return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: unknown jump target %q", st.line, ErrSyntax, st.args[0])
+					return nil, vm.VerifyReport{}, nil, fmt.Errorf("line %d: %w: unknown jump target %q", st.line, ErrSyntax, st.args[0])
 				}
 				off = v
 			}
 			if off < -128 || off > 127 {
-				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: jump to %q spans %d bytes (max ±128); use pushcl+jumps", st.line, ErrSyntax, st.args[0], off)
+				return nil, vm.VerifyReport{}, nil, fmt.Errorf("line %d: %w: jump to %q spans %d bytes (max ±128); use pushcl+jumps", st.line, ErrSyntax, st.args[0], off)
 			}
 			code = append(code, byte(int8(off)))
 
 		case vm.OperandHeap: // getvar, setvar
 			v, err := resolve(st.args[0], st)
 			if err != nil {
-				return nil, vm.VerifyReport{}, err
+				return nil, vm.VerifyReport{}, nil, err
 			}
 			if v < 0 || int(v) >= vm.HeapSlots {
-				return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: heap address %q = %d out of [0,%d)", st.line, ErrSyntax, st.args[0], v, vm.HeapSlots)
+				return nil, vm.VerifyReport{}, nil, fmt.Errorf("line %d: %w: heap address %q = %d out of [0,%d)", st.line, ErrSyntax, st.args[0], v, vm.HeapSlots)
 			}
 			code = append(code, byte(v))
 
 		default:
-			return nil, vm.VerifyReport{}, fmt.Errorf("line %d: %w: internal: unhandled operand kind for %s", st.line, ErrSyntax, st.info.Name)
+			return nil, vm.VerifyReport{}, nil, fmt.Errorf("line %d: %w: internal: unhandled operand kind for %s", st.line, ErrSyntax, st.info.Name)
 		}
 	}
 
@@ -297,9 +318,9 @@ func AssembleReport(src string) ([]byte, vm.VerifyReport, error) {
 		for _, ve := range rep.Errors {
 			errs = append(errs, fmt.Errorf("line %d: %w: %s", lineOf(stmts, ve.PC), ErrVerify, ve.Msg))
 		}
-		return nil, vm.VerifyReport{}, errors.Join(errs...)
+		return nil, vm.VerifyReport{}, nil, errors.Join(errs...)
 	}
-	return code, rep, nil
+	return code, rep, stmts, nil
 }
 
 // lineOf maps a byte address to the source line of the instruction

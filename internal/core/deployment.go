@@ -219,6 +219,7 @@ func NewDeployment(spec DeploymentSpec) (*Deployment, error) {
 		locs := append([]topology.Location{baseLoc}, spec.Layout.Nodes...)
 		strip := topology.PartitionStrips(locs, workers)
 		byKey := make(map[sim.ContextKey]int, len(strip))
+		//lint:maprange map-to-map rekeying; each entry is independent
 		for loc, sh := range strip {
 			byKey[sim.Key2D(loc.X, loc.Y)] = sh
 		}
@@ -351,6 +352,7 @@ func (d *Deployment) Node(loc topology.Location) *Node { return d.nodes[loc] }
 // Nodes returns all nodes (including the base) sorted by location.
 func (d *Deployment) Nodes() []*Node {
 	out := make([]*Node, 0, len(d.nodes))
+	//lint:maprange collected values are sorted by location below
 	for _, n := range d.nodes {
 		out = append(out, n)
 	}
@@ -379,6 +381,7 @@ func (d *Deployment) Motes() []*Node {
 // the count never dips to zero while an agent is in flight.
 func (d *Deployment) TotalAgents() int {
 	total := 0
+	//lint:maprange integer summation is commutative
 	for _, n := range d.nodes {
 		total += len(n.agents) + n.reserve
 	}
@@ -389,6 +392,7 @@ func (d *Deployment) TotalAgents() int {
 // (including the base station).
 func (d *Deployment) TotalStats() NodeStats {
 	var t NodeStats
+	//lint:maprange counter summation is commutative
 	for _, n := range d.nodes {
 		s := n.stats
 		t.InstrExecuted += s.InstrExecuted
@@ -406,6 +410,8 @@ func (d *Deployment) TotalStats() NodeStats {
 		t.EnergyDeaths += s.EnergyDeaths
 		t.TuplesReplicated += s.TuplesReplicated
 		t.TuplesRecovered += s.TuplesRecovered
+		t.DigestsSent += s.DigestsSent
+		t.DigestsSuppressed += s.DigestsSuppressed
 	}
 	return t
 }

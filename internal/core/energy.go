@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"github.com/agilla-go/agilla/internal/vm"
+)
 
 // The per-node energy model. A MICA2 runs on two AA cells, and the
 // paper's deployment story (long idle phases, short bursts of agent
@@ -64,6 +68,20 @@ func DefaultEnergyModel() EnergyModel {
 		SenseJ:       1.5e-5, // ADC conversion + sensor settle
 		IdleW:        9.0e-5, // ≈30 µA sleep current at 3 V
 		CheckEvery:   time.Second,
+	}
+}
+
+// VMCosts projects the model onto the static analyzer's cost table
+// (vm.Analyze): the per-instruction, per-frame, per-byte, and per-sample
+// figures, in integer nanojoules. The vm package cannot import core (the
+// dependency runs the other way), so vm.DefaultEnergyCosts carries the
+// same calibration and a test here pins the two together.
+func (m EnergyModel) VMCosts() vm.EnergyCosts {
+	return vm.EnergyCosts{
+		InstrNJ:    nanojoules(m.InstrJ),
+		SendNJ:     nanojoules(m.SendJ),
+		SendByteNJ: nanojoules(m.SendPerByteJ),
+		SenseNJ:    nanojoules(m.SenseJ),
 	}
 }
 

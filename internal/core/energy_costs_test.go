@@ -1,0 +1,16 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/agilla-go/agilla/internal/vm"
+)
+
+// The static analyzer's default cost table lives in internal/vm (which
+// cannot import core); this pins it to the deployment energy model so
+// the two calibrations cannot drift apart.
+func TestDefaultEnergyCostsMatchModel(t *testing.T) {
+	if got, want := DefaultEnergyModel().VMCosts(), vm.DefaultEnergyCosts(); got != want {
+		t.Fatalf("core.DefaultEnergyModel().VMCosts() = %+v, vm.DefaultEnergyCosts() = %+v", got, want)
+	}
+}

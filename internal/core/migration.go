@@ -584,11 +584,7 @@ func (n *Node) inComplete(im *inMigration) bool {
 	if len(im.code) < int(im.st.NCode) {
 		return false
 	}
-	nHeapSeen := 0
-	for range im.heapSeen {
-		nHeapSeen++
-	}
-	if nHeapSeen < int(im.st.NHeap) {
+	if len(im.heapSeen) < int(im.st.NHeap) {
 		return false
 	}
 	if len(im.stack) < int(im.st.NStack) {
@@ -723,6 +719,7 @@ func (n *Node) rememberDone(key inKey) {
 	now := n.sim.Now()
 	n.done[key] = now
 	const grace = 3 * time.Second
+	//lint:maprange each entry is tested and deleted independently
 	for k, t := range n.done {
 		if now-t > grace {
 			delete(n.done, k)

@@ -214,6 +214,7 @@ func (n *Node) NumAgents() int { return len(n.agents) }
 // AgentIDs returns the live agent IDs in ascending order.
 func (n *Node) AgentIDs() []uint16 {
 	out := make([]uint16, 0, len(n.agents))
+	//lint:maprange collected IDs are sorted below
 	for id := range n.agents {
 		out = append(out, id)
 	}

@@ -180,6 +180,7 @@ func (n *Node) rememberServed(key servedKey, sr servedReply) {
 	sr.at = now
 	n.served[key] = sr
 	grace := max(2*RemoteOpBudget(n.cfg), servedGraceFloor)
+	//lint:maprange each entry is tested and deleted independently
 	for k, s := range n.served {
 		if now-s.at > grace {
 			delete(n.served, k)

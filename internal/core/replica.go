@@ -49,6 +49,13 @@ type Replication struct {
 	// MaxEntries caps each mote's replica store, live entries plus
 	// tombstones (default 128); tombstones are always admitted.
 	MaxEntries int
+	// QuiescentEvery controls digest suppression for quiescent stores: a
+	// tick whose store hasn't changed since the last transmitted digest
+	// sends nothing, except that every QuiescentEvery-th consecutive
+	// quiet tick still sends one keepalive round so rebooted or newly
+	// adjacent neighbors eventually hear the full state (default 8; 1
+	// sends every tick, disabling suppression).
+	QuiescentEvery int
 }
 
 func (r Replication) withDefaults() Replication {
@@ -63,6 +70,9 @@ func (r Replication) withDefaults() Replication {
 	}
 	if r.MaxEntries <= 0 {
 		r.MaxEntries = 128
+	}
+	if r.QuiescentEvery <= 0 {
+		r.QuiescentEvery = 8
 	}
 	return r
 }
@@ -87,6 +97,12 @@ type replicaState struct {
 
 	gen  int // invalidates stale gossip tick chains, like batGen
 	mute int // >0: space hooks ignore inserts/removals (bookkeeping ops)
+
+	// dirty marks the store as changed since the last transmitted digest;
+	// quiet counts consecutive suppressed ticks so a quiescent store
+	// still sends a keepalive digest every cfg.QuiescentEvery ticks.
+	dirty bool
+	quiet int
 }
 
 // EnableReplication attaches the gossip CRDT layer to the node. Call after
@@ -143,6 +159,7 @@ func (n *Node) replicaOnInsert(t tuplespace.Tuple) {
 	}
 	if r.set.Add(replica.Origin{Node: n.loc, Seq: r.seq + 1}, t) {
 		r.seq++
+		r.dirty = true
 	}
 }
 
@@ -157,6 +174,7 @@ func (n *Node) replicaOnRemove(t tuplespace.Tuple) {
 	for _, loc := range n.ownReplicaLocs() {
 		if o, ok := r.set.FindLocal(loc, t); ok {
 			r.set.Tombstone(o)
+			r.dirty = true
 			return
 		}
 	}
@@ -191,6 +209,10 @@ func (n *Node) startGossip() {
 		return
 	}
 	r.gen++
+	// Force the first tick of every chain to transmit: a freshly booted
+	// (or recovered) node's digest is the invitation neighbors answer by
+	// streaming state back, so it must not be suppressed as quiescent.
+	r.dirty = true
 	gen := r.gen
 	var tick func()
 	tick = func() {
@@ -227,6 +249,18 @@ func (n *Node) gossipTick() {
 	if k > len(nbrs) {
 		k = len(nbrs)
 	}
+	// Quiescence: a store unchanged since the last transmitted digest has
+	// nothing for anti-entropy to reconcile, so skip the round and save
+	// the radio energy — but never go silent forever: every
+	// QuiescentEvery-th quiet tick sends a keepalive round so a rebooted
+	// or newly adjacent neighbor still converges.
+	if !r.dirty && r.quiet+1 < r.cfg.QuiescentEvery {
+		r.quiet++
+		n.stats.DigestsSuppressed += uint64(k)
+		return
+	}
+	r.dirty = false
+	r.quiet = 0
 	start := 0
 	if len(nbrs) > 1 {
 		start = r.rng.Intn(len(nbrs))
@@ -234,6 +268,7 @@ func (n *Node) gossipTick() {
 	payload := wire.ReplicaDigest{Lines: r.set.Digest()}.Encode()
 	for i := 0; i < k; i++ {
 		n.net.SendDirect(nbrs[(start+i)%len(nbrs)].Loc, radio.KindReplicaDigest, payload)
+		n.stats.DigestsSent++
 		if n.life != NodeUp {
 			return // the transmit charge emptied the battery
 		}
@@ -318,7 +353,12 @@ func (n *Node) recvReplicaDelta(f radio.Frame) {
 			}
 		}
 	}
-	if (added > 0 || removed > 0) && n.trace != nil && n.trace.ReplicaSynced != nil {
-		n.trace.ReplicaSynced(n.loc, f.Src, added, removed)
+	if added > 0 || removed > 0 {
+		// Merged state is news to every neighbor except the sender: wake
+		// the next gossip tick so the delta keeps propagating.
+		r.dirty = true
+		if n.trace != nil && n.trace.ReplicaSynced != nil {
+			n.trace.ReplicaSynced(n.loc, f.Src, added, removed)
+		}
 	}
 }

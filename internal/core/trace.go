@@ -83,4 +83,10 @@ type NodeStats struct {
 	// the arena after a crash, streamed back by neighbors.
 	TuplesReplicated uint64
 	TuplesRecovered  uint64
+	// DigestsSent counts gossip digest frames transmitted;
+	// DigestsSuppressed counts digest frames the quiescence optimization
+	// elided because the replica store hadn't changed since the last
+	// send (see Replication.QuiescentEvery).
+	DigestsSent       uint64
+	DigestsSuppressed uint64
 }

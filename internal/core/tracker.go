@@ -189,6 +189,7 @@ func (t *agentTracker) ids() []uint16 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]uint16, 0, len(t.agents))
+	//lint:maprange collected IDs are sorted below
 	for id := range t.agents {
 		out = append(out, id)
 	}

@@ -134,6 +134,7 @@ func (n *Node) Crash(cause DownCause) bool {
 	n.runQueue = n.runQueue[:0]
 	// Volatile protocol sessions vanish with the RAM; peers time out and
 	// run their failure paths.
+	//lint:maprange independent timer cancellations; no cross-entry effects
 	for _, om := range n.out {
 		if om.timer != nil {
 			om.timer.Cancel()
@@ -144,6 +145,7 @@ func (n *Node) Crash(cause DownCause) bool {
 	// death events below land in the trace, and map order would vary the
 	// hash run to run.
 	inKeys := make([]inKey, 0, len(n.in))
+	//lint:maprange collected keys are sorted below before any effects
 	for k := range n.in {
 		inKeys = append(inKeys, k)
 	}
@@ -186,6 +188,7 @@ func (n *Node) Crash(cause DownCause) bool {
 	}
 	clear(n.in)
 	clear(n.done)
+	//lint:maprange independent timer cancellations; no cross-entry effects
 	for _, pr := range n.remote {
 		if pr.timer != nil {
 			pr.timer.Cancel()

@@ -38,30 +38,39 @@ import (
 // except the wall-clock ones are deterministic per seed and identical
 // across worker counts.
 type ChurnRow struct {
-	Scenario         string  `json:"scenario"`
-	Nodes            int     `json:"nodes"`
-	Workers          int     `json:"workers"`
-	Replication      bool    `json:"replication"`
-	Events           uint64  `json:"events"`
-	Kills            uint64  `json:"kills"`
-	Revives          uint64  `json:"revives"`
-	Moves            uint64  `json:"moves"`
-	EnergyDeaths     uint64  `json:"energy_deaths"`
-	AgentsDied       uint64  `json:"agents_died"`
-	MigFails         uint64  `json:"migration_fails"`
-	FramesMissed     uint64  `json:"frames_missed"`
-	EnergyUsedJ      float64 `json:"energy_used_j"`
-	RemoteProbes     int     `json:"remote_probes"`
-	RemoteProbesOK   int     `json:"remote_probes_ok"`
-	RemoteOKRate     float64 `json:"remote_ok_rate"`
-	TupleSurvival    float64 `json:"tuple_survival"`
-	TuplesReplicated uint64  `json:"tuples_replicated"`
-	TuplesRecovered  uint64  `json:"tuples_recovered"`
-	Hash             string  `json:"hash"`
-	VirtualSecs      float64 `json:"virtual_secs"`
-	WallSecs         float64 `json:"wall_secs"`
-	EventsPerSec     float64 `json:"events_per_sec"`
-	Speedup          float64 `json:"speedup"`
+	Scenario          string  `json:"scenario"`
+	Nodes             int     `json:"nodes"`
+	Workers           int     `json:"workers"`
+	Replication       bool    `json:"replication"`
+	Events            uint64  `json:"events"`
+	Kills             uint64  `json:"kills"`
+	Revives           uint64  `json:"revives"`
+	Moves             uint64  `json:"moves"`
+	EnergyDeaths      uint64  `json:"energy_deaths"`
+	AgentsDied        uint64  `json:"agents_died"`
+	MigFails          uint64  `json:"migration_fails"`
+	FramesMissed      uint64  `json:"frames_missed"`
+	EnergyUsedJ       float64 `json:"energy_used_j"`
+	RemoteProbes      int     `json:"remote_probes"`
+	RemoteProbesOK    int     `json:"remote_probes_ok"`
+	RemoteOKRate      float64 `json:"remote_ok_rate"`
+	TupleSurvival     float64 `json:"tuple_survival"`
+	TuplesReplicated  uint64  `json:"tuples_replicated"`
+	TuplesRecovered   uint64  `json:"tuples_recovered"`
+	DigestsSent       uint64  `json:"digests_sent"`
+	DigestsSuppressed uint64  `json:"digests_suppressed"`
+	// SuppressionSavedJ is the energy the quiescent-store digest
+	// suppression saved: the same workload re-run with suppression
+	// disabled (QuiescentEvery: 1) drains this many more joules. Both
+	// measurement runs use uncapped batteries so the figure is pure
+	// gossip airtime, not clipped by battery exhaustion. Zero on
+	// baseline (replication-off) rows.
+	SuppressionSavedJ float64 `json:"gossip_suppression_saved_j"`
+	Hash              string  `json:"hash"`
+	VirtualSecs       float64 `json:"virtual_secs"`
+	WallSecs          float64 `json:"wall_secs"`
+	EventsPerSec      float64 `json:"events_per_sec"`
+	Speedup           float64 `json:"speedup"`
 }
 
 // ChurnResult is the full sweep.
@@ -77,20 +86,21 @@ func (r *ChurnResult) JSON() ([]byte, error) {
 func (r *ChurnResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Dynamic world: agent, data, and kernel behavior under churn + mobility + energy\n")
-	fmt.Fprintf(&b, "%-12s %5s %7s %4s %10s %5s %7s %7s %9s %6s %6s %8s  %s\n",
-		"scenario", "nodes", "workers", "repl", "events", "kill", "revive", "enrgy†", "agt-died", "r-ok", "surv", "wall(s)", "hash")
+	fmt.Fprintf(&b, "%-12s %5s %7s %4s %10s %5s %7s %7s %9s %6s %6s %9s %8s  %s\n",
+		"scenario", "nodes", "workers", "repl", "events", "kill", "revive", "enrgy†", "agt-died", "r-ok", "surv", "saved(J)", "wall(s)", "hash")
 	for _, row := range r.Rows {
 		repl := "off"
 		if row.Replication {
 			repl = "on"
 		}
-		fmt.Fprintf(&b, "%-12s %5d %7d %4s %10d %5d %7d %7d %9d %6.2f %6.2f %8.2f  %s\n",
+		fmt.Fprintf(&b, "%-12s %5d %7d %4s %10d %5d %7d %7d %9d %6.2f %6.2f %9.3f %8.2f  %s\n",
 			row.Scenario, row.Nodes, row.Workers, repl, row.Events,
 			row.Kills, row.Revives, row.EnergyDeaths,
-			row.AgentsDied, row.RemoteOKRate, row.TupleSurvival, row.WallSecs, row.Hash)
+			row.AgentsDied, row.RemoteOKRate, row.TupleSurvival, row.SuppressionSavedJ, row.WallSecs, row.Hash)
 	}
 	b.WriteString("† battery exhaustions. r-ok: mid-outage remote lookups of dead motes' markers answered OK.\n")
 	b.WriteString("surv: fraction of t=0 marker tuples readable anywhere at the end.\n")
+	b.WriteString("saved(J): energy the quiescent-store digest suppression saved vs. gossiping every tick.\n")
 	b.WriteString("Deterministic columns (everything but wall) must not vary with workers.")
 	return b.String()
 }
@@ -120,18 +130,37 @@ func Churn(cfg Config) (*ChurnResult, error) {
 	res := &ChurnResult{}
 	for _, g := range sizes {
 		for _, repl := range modes {
-			var baseline float64
+			var baseline, savedJ float64
 			for _, w := range workers {
-				row, err := churnRun(g, w, virtual, cfg.Seed, repl)
+				row, err := churnRun(g, w, virtual, cfg.Seed, repl, churnOpts{})
 				if err != nil {
 					return nil, fmt.Errorf("churn %dx%d workers=%d repl=%v: %w", g, g, w, repl, err)
 				}
 				if w == 1 {
 					baseline = row.EventsPerSec
+					if repl {
+						// Measure what digest suppression saves: the same
+						// workload with suppression on vs. off, batteries
+						// uncapped so the delta is pure gossip airtime
+						// (the provisioned rows are battery-limited, which
+						// would clip it). Sequential only — the delta is
+						// deterministic, so every worker row of this
+						// configuration carries the same value.
+						quietU, err := churnRun(g, 1, virtual, cfg.Seed, repl, churnOpts{uncapped: true})
+						if err != nil {
+							return nil, fmt.Errorf("churn %dx%d uncapped repl=%v: %w", g, g, repl, err)
+						}
+						noisyU, err := churnRun(g, 1, virtual, cfg.Seed, repl, churnOpts{uncapped: true, quiescentEvery: 1})
+						if err != nil {
+							return nil, fmt.Errorf("churn %dx%d no-suppression repl=%v: %w", g, g, repl, err)
+						}
+						savedJ = noisyU.EnergyUsedJ - quietU.EnergyUsedJ
+					}
 				}
 				if baseline > 0 {
 					row.Speedup = row.EventsPerSec / baseline
 				}
+				row.SuppressionSavedJ = savedJ
 				res.Rows = append(res.Rows, row)
 			}
 		}
@@ -170,23 +199,41 @@ func markerReadable(d *core.Deployment, idx int) bool {
 	return false
 }
 
+// churnOpts tweaks one churn run: quiescentEvery overrides the digest
+// suppression threshold (0 = the default, 1 = suppression off), uncapped
+// disables battery exhaustion for the suppression-savings measurement.
+type churnOpts struct {
+	quiescentEvery int
+	uncapped       bool
+}
+
 // churnRun executes one grid at one worker count under the scripted
 // world schedule.
-func churnRun(g, workers int, virtual time.Duration, seed int64, repl bool) (ChurnRow, error) {
+func churnRun(g, workers int, virtual time.Duration, seed int64, repl bool, opts churnOpts) (ChurnRow, error) {
 	energy := core.DefaultEnergyModel()
 	// A steadily beaconing, sensing mote drains roughly 0.5 mJ/s under
 	// this workload; size the battery so exhaustion lands around three
 	// quarters of the run, whatever its length. Anti-entropy gossip
 	// multiplies the radio traffic many-fold — and its digest frames carry
 	// one origin summary per mote, so per-mote gossip drain grows with the
-	// grid — so the replication rows get a cell provisioned (∝ node count,
-	// calibrated at 36 motes) for the same ~three-quarter-run lifetime:
-	// both modes churn through the same kill/revive/death schedule shape
-	// and the comparison isolates data availability, while the EnergyUsedJ
-	// column reports replication's true energy price.
+	// grid — so the replication rows get a cell provisioned ∝ node count
+	// (calibrated at 36 motes for the quiescence-suppressed gossip rate).
+	// The provision is affine in run length because suppressed drain is
+	// front-loaded: the convergence burst transmits every tick until the
+	// stores quiesce, then the rate plummets. It is also sized so the
+	// probe-serving mote — the hottest drainer, sitting beside the base
+	// gateway — outlives the mid-outage probes, while the gateway-adjacent
+	// hot spots still exhaust before the end: deaths happen, probes
+	// answer, and the EnergyUsedJ column reports replication's true
+	// energy price.
 	energy.CapacityJ = 4e-4 * virtual.Seconds()
 	if repl {
-		energy.CapacityJ = 2.4e-2 * virtual.Seconds() * float64(g*g) / 36
+		energy.CapacityJ = (1.4e-1 + 4e-3*virtual.Seconds()) * float64(g*g) / 36
+	}
+	if opts.uncapped {
+		// Effectively infinite: the savings measurement must not be
+		// clipped by exhaustion.
+		energy.CapacityJ = 1e6
 	}
 	spec := core.DeploymentSpec{
 		Layout:  topology.GridLayout(g, g),
@@ -195,7 +242,9 @@ func churnRun(g, workers int, virtual time.Duration, seed int64, repl bool) (Chu
 		Energy:  &energy,
 	}
 	if repl {
-		spec.Replication = &core.Replication{} // defaults: k=2, 500ms
+		// Defaults: k=2, 500ms, digest suppression after 8 quiet ticks;
+		// quiescentEvery=1 disables suppression for the savings baseline.
+		spec.Replication = &core.Replication{QuiescentEvery: opts.quiescentEvery}
 	}
 	d, err := core.NewDeployment(spec)
 	if err != nil {
@@ -272,27 +321,29 @@ func churnRun(g, workers int, virtual time.Duration, seed int64, repl bool) (Chu
 	stats := d.TotalStats()
 	world := d.WorldStats()
 	row := ChurnRow{
-		Scenario:         fmt.Sprintf("grid %dx%d", g, g),
-		Nodes:            g * g,
-		Workers:          d.Workers(),
-		Replication:      repl,
-		Events:           d.Sim.Executed(),
-		Kills:            world.Kills,
-		Revives:          world.Revives,
-		Moves:            world.Moves,
-		EnergyDeaths:     stats.EnergyDeaths,
-		AgentsDied:       stats.AgentsDied,
-		MigFails:         stats.MigrationsFail,
-		FramesMissed:     stats.FramesMissed,
-		EnergyUsedJ:      d.EnergyUsedJ(),
-		RemoteProbes:     probes,
-		RemoteProbesOK:   probesOK,
-		TupleSurvival:    float64(found) / float64(g*g),
-		TuplesReplicated: stats.TuplesReplicated,
-		TuplesRecovered:  stats.TuplesRecovered,
-		Hash:             fmt.Sprintf("%016x", scaleHash(d)),
-		VirtualSecs:      virtual.Seconds(),
-		WallSecs:         wall,
+		Scenario:          fmt.Sprintf("grid %dx%d", g, g),
+		Nodes:             g * g,
+		Workers:           d.Workers(),
+		Replication:       repl,
+		Events:            d.Sim.Executed(),
+		Kills:             world.Kills,
+		Revives:           world.Revives,
+		Moves:             world.Moves,
+		EnergyDeaths:      stats.EnergyDeaths,
+		AgentsDied:        stats.AgentsDied,
+		MigFails:          stats.MigrationsFail,
+		FramesMissed:      stats.FramesMissed,
+		EnergyUsedJ:       d.EnergyUsedJ(),
+		RemoteProbes:      probes,
+		RemoteProbesOK:    probesOK,
+		TupleSurvival:     float64(found) / float64(g*g),
+		TuplesReplicated:  stats.TuplesReplicated,
+		TuplesRecovered:   stats.TuplesRecovered,
+		DigestsSent:       stats.DigestsSent,
+		DigestsSuppressed: stats.DigestsSuppressed,
+		Hash:              fmt.Sprintf("%016x", scaleHash(d)),
+		VirtualSecs:       virtual.Seconds(),
+		WallSecs:          wall,
 	}
 	if probes > 0 {
 		row.RemoteOKRate = float64(probesOK) / float64(probes)

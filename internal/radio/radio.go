@@ -326,6 +326,7 @@ func (m *Medium) Version() uint64 { return m.version }
 // deterministic; callers must sort if order matters).
 func (m *Medium) Locations() []topology.Location {
 	out := make([]topology.Location, 0, len(m.att))
+	//lint:maprange documented as unordered; callers sort when order matters
 	for l, a := range m.att {
 		if a.r != nil {
 			out = append(out, l)
@@ -357,6 +358,7 @@ func (m *Medium) neighbors(src topology.Location, sh *mediumShard) []topology.Lo
 		return nb
 	}
 	nb := make([]topology.Location, 0, 8)
+	//lint:maprange collected neighbors are sorted (Y, X) below
 	for loc := range m.att {
 		if loc != src && m.topo.Connected(src, loc) {
 			nb = append(nb, loc)

@@ -162,6 +162,7 @@ func (s *Set) Merge(entries []Entry) (added, removed int) {
 // deterministic iteration order every wire-visible product uses.
 func (s *Set) sortedNodes() []topology.Location {
 	out := make([]topology.Location, 0, len(s.nodes))
+	//lint:maprange collected locations are sorted (Y, X) below
 	for loc := range s.nodes {
 		out = append(out, loc)
 	}
@@ -178,6 +179,7 @@ func (s *Set) sortedNodes() []topology.Location {
 // order.
 func (s *Set) sortedOf(node topology.Location) []*Entry {
 	var out []*Entry
+	//lint:maprange collected entries are sorted by sequence below
 	for o, e := range s.entries {
 		if o.Node == node {
 			out = append(out, e)

@@ -248,6 +248,7 @@ func (p *Parallel) runWindow(end time.Duration, closed bool) bool {
 			continue
 		}
 		wg.Add(1)
+		//lint:gospawn this IS the executor's worker pool; workers join at the window barrier below
 		go func(sh *shard) {
 			defer wg.Done()
 			if !sh.runTo(end, closed, windowChunk) {

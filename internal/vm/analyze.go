@@ -1,0 +1,914 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Static dataflow analysis, layered on Verify. Where Verify bounds stack
+// depth as an interval, Analyze runs an abstract interpreter over the
+// same control-flow graph tracking the *kind* of every operand stack
+// slot and heap variable (number, string, location, type wildcard,
+// sensor reading, agent ID), so it can prove three classes of defect
+// before an agent is admitted:
+//
+//   - type-mismatched operands: an instruction whose operand can never
+//     hold an acceptable kind (smove of a number, putled of a string);
+//   - reads of never-written heap slots (getvar of a variable no
+//     reachable setvar ever stores to — the zero heap Value is invalid
+//     and poisons whatever consumes it);
+//   - dead code and unreachable reactions.
+//
+// On top of the CFG it computes a static worst-case energy bound per
+// wakeful burst: the maximum energy (EnergyCosts, mirroring the
+// deployment's core.EnergyModel) an agent can draw between two yield
+// points. Yield points are the instructions that suspend the agent —
+// sleep, wait, the four migrations, the three remote operations, and a
+// blocking in/rd that misses — so an infinite sense-sleep loop like
+// Figure 13's detector still gets a finite per-burst figure, while a
+// busy loop that never yields is reported Unbounded with the offending
+// back edge. Launch uses the bound for admission (WithAdmissionBudget).
+//
+// The abstract state is exact as long as the analysis can track every
+// slot: pushes record kinds (and constants, so tuple field counts are
+// usually known), and the state degrades to Verify's depth interval at
+// joins of unequal depth or data-dependent tuple traffic. All findings
+// come from exact states or whole-program facts, so every reported
+// defect is guaranteed on some run, never a may-happen guess.
+
+// kmask is a bitmask over the kinds an abstract slot may hold.
+type kmask uint16
+
+const (
+	kNum     kmask = 1 << iota // KindValue
+	kStr                       // KindString
+	kLoc                       // KindLocation
+	kType                      // KindType
+	kReading                   // KindReading
+	kAgentID                   // KindAgentID
+	kInvalid                   // the zero Value of an unwritten heap slot
+)
+
+const (
+	kAny kmask = kNum | kStr | kLoc | kType | kReading | kAgentID | kInvalid
+	// kInt is what PopInt coerces: plain values, type codes, readings,
+	// and agent IDs.
+	kInt kmask = kNum | kType | kReading | kAgentID
+)
+
+func (m kmask) String() string {
+	names := []struct {
+		bit  kmask
+		name string
+	}{
+		{kNum, "value"}, {kStr, "string"}, {kLoc, "location"},
+		{kType, "type"}, {kReading, "reading"}, {kAgentID, "agent-id"},
+		{kInvalid, "invalid"},
+	}
+	s := ""
+	for _, n := range names {
+		if m&n.bit != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += n.name
+		}
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// Severity classifies a finding.
+type Severity uint8
+
+// Severities.
+const (
+	// SevWarning findings describe suspicious but survivable programs:
+	// dead code, unreachable reactions, an unbounded energy draw.
+	SevWarning Severity = iota
+	// SevError findings are guaranteed runtime deaths or reads of
+	// never-written state; Analyze returns an error when any exist.
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Finding is one analysis result, positioned by program counter like
+// VerifyError; callers with source maps (the assembler, the builder)
+// re-position it.
+type Finding struct {
+	PC       int
+	Op       Op
+	Severity Severity
+	Msg      string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: pc=%d (%s): %s", f.Severity, f.PC, f.Op, f.Msg)
+}
+
+// AnalysisReport is the result of analyzing one program. It embeds the
+// verifier's report; the analysis fields are meaningful only when the
+// embedded report carries no errors.
+type AnalysisReport struct {
+	VerifyReport
+
+	// Findings holds every dataflow finding, sorted by PC.
+	Findings []Finding
+
+	// EnergyBoundNJ is the worst-case energy in nanojoules any single
+	// wakeful burst can draw, valid when EnergyUnbounded is false.
+	EnergyBoundNJ uint64
+	// EnergyUnbounded reports that no finite per-burst bound exists:
+	// some cycle never passes a yielding instruction, a dynamic jump
+	// defeats the CFG, or a reaction entry is not statically visible.
+	// UnboundedPC locates the offending back edge or instruction.
+	EnergyUnbounded bool
+	UnboundedPC     int
+
+	// BurstEntries lists the addresses where a wakeful burst can begin:
+	// program start, reaction entries, the continuations of yielding
+	// instructions, and blocking in/rd retry points. Sorted.
+	BurstEntries []int
+
+	// HeapWritten and HeapRead are bitmasks of heap slots some reachable
+	// setvar writes / getvar reads.
+	HeapWritten, HeapRead uint16
+
+	// UnreachablePCs lists the addresses of unreachable instructions.
+	UnreachablePCs []int
+}
+
+// EnergyBoundJ is the per-burst bound in joules.
+func (r *AnalysisReport) EnergyBoundJ() float64 { return float64(r.EnergyBoundNJ) / 1e9 }
+
+// HasErrors reports whether the program failed verification or any
+// SevError finding exists.
+func (r *AnalysisReport) HasErrors() bool {
+	if len(r.VerifyReport.Errors) > 0 {
+		return true
+	}
+	for _, f := range r.Findings {
+		if f.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Err joins the verifier's errors and the SevError findings; nil if the
+// program is admissible.
+func (r *AnalysisReport) Err() error {
+	errs := make([]error, 0, len(r.VerifyReport.Errors))
+	for _, e := range r.VerifyReport.Errors {
+		errs = append(errs, e)
+	}
+	for _, f := range r.Findings {
+		if f.Severity == SevError {
+			errs = append(errs, errors.New(f.String()))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// ctlFacts are the statically visible control-flow facts shared by
+// Verify and Analyze. An idiom pair (a pushc/pushcl immediately feeding
+// jumps or regrxn) is trusted only when the consumer cannot be entered
+// except by falling through the push: a direct entry (a jump target on
+// the consumer itself) would let it pop a value other than the pushed
+// constant, so a targeted consumer is demoted to dynamic.
+type ctlFacts struct {
+	jumpTargets map[int]int // ins index of a trusted jumps -> target pc
+	rxnEntries  []int       // candidate reaction entry pcs, program order
+	rxnAt       map[int]int // ins index of a trusted regrxn -> entry pc
+	dynamic     bool        // a jumps with no trusted static target
+	dynamicPC   int
+	bypassed    bool // a regrxn whose entry is not statically certain
+	bypassPC    int
+}
+
+func controlFacts(ins []vinstr, codeLen int, boundary func(int) bool) ctlFacts {
+	f := ctlFacts{jumpTargets: map[int]int{}, rxnAt: map[int]int{}, dynamicPC: -1, bypassPC: -1}
+	imm := func(in vinstr) (int, bool) {
+		switch in.op {
+		case OpPushc:
+			return int(in.args[0]), true
+		case OpPushcl:
+			return int(int16(uint16(in.args[0])<<8 | uint16(in.args[1]))), true
+		}
+		return 0, false
+	}
+	// Directly enterable addresses: the program start, every relative
+	// jump target, and every candidate computed target.
+	direct := map[int]bool{0: true}
+	for i, in := range ins {
+		if in.info.Kind == OperandRel {
+			direct[in.pc+int(int8(in.args[0]))] = true
+		}
+		if v, ok := imm(in); ok && i+1 < len(ins) {
+			switch ins[i+1].op {
+			case OpJumps, OpRegrxn:
+				if v >= 0 && v < codeLen && boundary(v) {
+					direct[v] = true
+				}
+			}
+		}
+	}
+	for i, in := range ins {
+		v, ok := imm(in)
+		if !ok || i+1 >= len(ins) {
+			continue
+		}
+		c := ins[i+1]
+		valid := v >= 0 && v < codeLen && boundary(v)
+		switch c.op {
+		case OpJumps:
+			if valid && !direct[c.pc] {
+				f.jumpTargets[i+1] = v
+			}
+		case OpRegrxn:
+			if valid {
+				f.rxnEntries = append(f.rxnEntries, v)
+				if direct[c.pc] {
+					if !f.bypassed {
+						f.bypassed, f.bypassPC = true, c.pc
+					}
+				} else {
+					f.rxnAt[i+1] = v
+				}
+			}
+		}
+	}
+	for i, in := range ins {
+		switch in.op {
+		case OpJumps:
+			if _, ok := f.jumpTargets[i]; !ok && !f.dynamic {
+				f.dynamic, f.dynamicPC = true, in.pc
+			}
+		case OpRegrxn:
+			if _, ok := f.rxnAt[i]; !ok && !f.bypassed {
+				// A regrxn with no feeding push: the entry address comes
+				// off the stack and is not statically certain.
+				f.bypassed, f.bypassPC = true, in.pc
+			}
+		}
+	}
+	return f
+}
+
+// aslot is one abstract operand stack slot: the kinds it may hold and,
+// when a push recorded one, the exact constant (field counts, mostly).
+type aslot struct {
+	mask     kmask
+	hasConst bool
+	c        int16
+}
+
+func slotOf(m kmask) aslot { return aslot{mask: m} }
+
+// astate is the abstract machine state at one instruction's entry. When
+// exact, stack holds one aslot per live entry (lo == hi == len(stack));
+// otherwise only the depth interval [lo, hi] is known, exactly Verify's
+// domain.
+type astate struct {
+	seen  bool
+	exact bool
+	stack []aslot
+	lo    int
+	hi    int
+}
+
+func exactState(stack []aslot) astate {
+	return astate{seen: true, exact: true, stack: stack, lo: len(stack), hi: len(stack)}
+}
+
+func rangeState(lo, hi int) astate {
+	return astate{seen: true, lo: lo, hi: hi}
+}
+
+// join widens d to cover s, reporting whether d changed. The lattice is
+// monotone: masks only grow, constants only disappear, exactness only
+// degrades, intervals only widen — so the fixpoint terminates.
+func (d *astate) join(s astate) bool {
+	if !d.seen {
+		*d = s
+		d.stack = append([]aslot(nil), s.stack...)
+		return true
+	}
+	if d.exact && s.exact && len(d.stack) == len(s.stack) {
+		changed := false
+		for i := range d.stack {
+			if m := d.stack[i].mask | s.stack[i].mask; m != d.stack[i].mask {
+				d.stack[i].mask = m
+				changed = true
+			}
+			if d.stack[i].hasConst && (!s.stack[i].hasConst || s.stack[i].c != d.stack[i].c) {
+				d.stack[i].hasConst = false
+				changed = true
+			}
+		}
+		return changed
+	}
+	lo, hi := min(d.lo, s.lo), max(d.hi, s.hi)
+	changed := d.exact || lo < d.lo || hi > d.hi
+	d.exact, d.stack, d.lo, d.hi = false, nil, lo, hi
+	return changed
+}
+
+// burst terminators: instructions that end a wakeful burst by yielding
+// the processor. A blocking in/rd is special-cased (its success edge
+// continues the burst; only a miss yields).
+func yields(op Op) bool {
+	switch op {
+	case OpSleep, OpWait, OpHalt, OpSmove, OpWmove, OpSclone, OpWclone, OpRout, OpRinp, OpRrdp:
+		return true
+	}
+	return false
+}
+
+// Analyze runs the dataflow analysis and energy bounding on a program,
+// using costs (typically DefaultEnergyCosts, or a deployment model's
+// VMCosts) for the energy figures. The returned error is non-nil iff
+// the program failed verification or a SevError finding exists;
+// warnings (dead code, unbounded energy) never make the error.
+func Analyze(code []byte, costs EnergyCosts) (AnalysisReport, error) {
+	var rep AnalysisReport
+	rep.UnboundedPC = -1
+	vrep, verr := Verify(code)
+	rep.VerifyReport = vrep
+	if verr != nil {
+		return rep, fmt.Errorf("analyze: %w", verr)
+	}
+
+	// Re-decode; cannot fail after Verify.
+	var ins []vinstr
+	index := make(map[int]int)
+	for pc := 0; pc < len(code); {
+		op := Op(code[pc])
+		info := infoTable[op]
+		index[pc] = len(ins)
+		ins = append(ins, vinstr{pc: pc, op: op, info: info, args: code[pc+1 : pc+1+info.Operands], next: pc + 1 + info.Operands})
+		pc += 1 + info.Operands
+	}
+	boundary := func(pc int) bool { _, ok := index[pc]; return ok }
+	facts := controlFacts(ins, len(code), boundary)
+	conservative := facts.dynamic || facts.bypassed
+
+	// Kind fixpoint. heapMask is flow-insensitive: the union of every
+	// kind a reachable setvar stores to the slot (reads see that union
+	// plus kInvalid, since the write may not have happened yet).
+	states := make([]astate, len(ins))
+	var heapMask [HeapSlots]kmask
+	var heapWritten uint16
+	var work []int
+	enter := func(idx int, s astate) {
+		if states[idx].join(s) {
+			work = append(work, idx)
+		}
+	}
+	// getvarsOf re-enqueues readers of a slot when its mask widens.
+	getvarsOf := make([][]int, HeapSlots)
+	for i, in := range ins {
+		if in.op == OpGetvar && int(in.args[0]) < HeapSlots {
+			getvarsOf[in.args[0]] = append(getvarsOf[in.args[0]], i)
+		}
+	}
+	writeHeap := func(slot int, m kmask) {
+		heapWritten |= 1 << slot
+		if heapMask[slot]|m != heapMask[slot] {
+			heapMask[slot] |= m
+			for _, gi := range getvarsOf[slot] {
+				if states[gi].seen {
+					work = append(work, gi)
+				}
+			}
+		}
+	}
+	readHeap := func(slot int) kmask {
+		if heapWritten&(1<<slot) == 0 {
+			// Never written anywhere: the read-before-write finding fires
+			// in the reporting pass; push kAny here so one defect does
+			// not cascade into spurious mismatches downstream.
+			return kAny
+		}
+		return heapMask[slot] | kInvalid
+	}
+
+	if conservative {
+		for i := range ins {
+			enter(i, rangeState(0, StackDepth))
+		}
+	} else {
+		enter(0, exactState(nil))
+	}
+
+	// step computes the out-state of one instruction from its in-state,
+	// or reports a guaranteed death (dead == true: no successor state).
+	step := func(idx int) (out astate, dead bool) {
+		in, s := ins[idx], states[idx]
+		info := in.info
+
+		if !s.exact {
+			// Verify's interval arithmetic.
+			popMin, popMax := info.StackInMin(), info.StackInMax()
+			pushMin, pushMax := info.StackOutMin(), info.StackOutMax()
+			if s.hi < popMin {
+				return astate{}, true
+			}
+			lo := max(0, s.lo-popMax) + pushMin
+			if lo > StackDepth {
+				return astate{}, true
+			}
+			hi := min(StackDepth, s.hi-popMin+pushMax)
+			if in.op == OpSetvar && int(in.args[0]) < HeapSlots {
+				writeHeap(int(in.args[0]), kAny)
+			}
+			return rangeState(lo, hi), false
+		}
+
+		// Exact transfer. Work on a copy; any check that fails here is
+		// re-derived in the reporting pass — this function only decides
+		// the out-state.
+		st := append([]aslot(nil), s.stack...)
+		pop := func() (aslot, bool) {
+			if len(st) == 0 {
+				return aslot{}, false
+			}
+			v := st[len(st)-1]
+			st = st[:len(st)-1]
+			return v, true
+		}
+		push := func(v aslot) bool {
+			if len(st) >= StackDepth {
+				return false
+			}
+			st = append(st, v)
+			return true
+		}
+		// degrade falls back to interval arithmetic from the exact depth.
+		degrade := func() (astate, bool) {
+			popMin, popMax := info.StackInMin(), info.StackInMax()
+			pushMin, pushMax := info.StackOutMin(), info.StackOutMax()
+			d := len(s.stack)
+			if d < popMin {
+				return astate{}, true
+			}
+			lo := max(0, d-popMax) + pushMin
+			if lo > StackDepth {
+				return astate{}, true
+			}
+			if in.op == OpSetvar && int(in.args[0]) < HeapSlots {
+				writeHeap(int(in.args[0]), kAny)
+			}
+			return rangeState(lo, hi(d, popMin, pushMax)), false
+		}
+		ok := true
+		switch in.op {
+		case OpHalt, OpWait, OpRjump, OpRjumpc, OpNumnbrs:
+			if in.op == OpNumnbrs {
+				ok = push(slotOf(kNum))
+			}
+		case OpLoc, OpPushloc, OpRandnbr:
+			ok = push(slotOf(kLoc))
+		case OpAid:
+			ok = push(slotOf(kAgentID))
+		case OpRand:
+			ok = push(slotOf(kNum))
+		case OpPushc:
+			ok = push(aslot{mask: kNum, hasConst: true, c: int16(in.args[0])})
+		case OpPushcl:
+			ok = push(aslot{mask: kNum, hasConst: true, c: int16(uint16(in.args[0])<<8 | uint16(in.args[1]))})
+		case OpPushn:
+			ok = push(slotOf(kStr))
+		case OpPusht, OpPushrt:
+			ok = push(slotOf(kType))
+		case OpDup:
+			if v, got := pop(); !got {
+				ok = false
+			} else {
+				ok = push(v) && push(v)
+			}
+		case OpPop:
+			_, ok = pop()
+		case OpSwap:
+			x, got1 := pop()
+			y, got2 := pop()
+			ok = got1 && got2 && push(x) && push(y)
+		case OpAdd, OpSub, OpAnd, OpOr, OpEq, OpNeq, OpLt, OpGt:
+			_, g1 := pop()
+			_, g2 := pop()
+			ok = g1 && g2 && push(slotOf(kNum))
+		case OpCeq, OpCneq, OpClt, OpCgt:
+			_, g1 := pop()
+			_, g2 := pop()
+			ok = g1 && g2
+		case OpNot, OpInc:
+			_, g := pop()
+			ok = g && push(slotOf(kNum))
+		case OpSleep, OpPutled, OpJumps:
+			_, ok = pop()
+		case OpSense:
+			_, g := pop()
+			ok = g && push(slotOf(kReading))
+		case OpGetnbr:
+			_, g := pop()
+			ok = g && push(slotOf(kLoc))
+		case OpGetvar:
+			ok = push(slotOf(readHeap(int(in.args[0]))))
+		case OpSetvar:
+			v, g := pop()
+			if g {
+				writeHeap(int(in.args[0]), v.mask)
+			}
+			ok = g
+		case OpSmove, OpWmove, OpSclone, OpWclone:
+			_, ok = pop()
+		case OpOut, OpInp, OpRdp, OpIn, OpRd, OpTcount, OpDeregrxn, OpRegrxn, OpRout, OpRinp, OpRrdp:
+			// The tuple family: an optional leading pop (the destination
+			// for remote ops, the entry address for regrxn), then the
+			// field count, then — when the count is a known constant —
+			// that many fields.
+			switch in.op {
+			case OpRout, OpRinp, OpRrdp, OpRegrxn:
+				if _, g := pop(); !g {
+					return astate{}, true
+				}
+			}
+			cnt, g := pop()
+			if !g {
+				return astate{}, true
+			}
+			if !cnt.hasConst {
+				return degrade()
+			}
+			n := int(cnt.c)
+			if n < 0 || n > len(st) {
+				return astate{}, true // PopFields dies on every path
+			}
+			st = st[:len(st)-n]
+			switch in.op {
+			case OpTcount:
+				ok = push(slotOf(kNum))
+			case OpInp, OpRdp:
+				// A hit pushes the matched fields and their count.
+				return rangeState(len(st), min(StackDepth, len(st)+StackDepth)), false
+			case OpIn, OpRd:
+				// The only successor state is a hit (a miss blocks and
+				// retries this instruction).
+				return rangeState(len(st)+1, min(StackDepth, len(st)+StackDepth)), false
+			case OpRinp, OpRrdp:
+				// The reply may push the matched fields and their count.
+				return rangeState(len(st), min(StackDepth, len(st)+StackDepth)), false
+			}
+		default:
+			return degrade()
+		}
+		if !ok {
+			return astate{}, true
+		}
+		return exactState(st), false
+	}
+
+	for len(work) > 0 {
+		idx := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := ins[idx]
+		out, dead := step(idx)
+		if dead {
+			continue
+		}
+		if in.op == OpRegrxn {
+			if e, trusted := facts.rxnAt[idx]; trusted {
+				// A firing enters with the interrupted context's stack
+				// plus the matched tuple: depth unknown.
+				enter(index[e], rangeState(0, StackDepth))
+			}
+		}
+		switch in.op {
+		case OpHalt, OpWait:
+			continue
+		case OpRjump:
+			if ti, tok := index[in.pc+int(int8(in.args[0]))]; tok {
+				enter(ti, out)
+			}
+			continue
+		case OpRjumpc:
+			if ti, tok := index[in.pc+int(int8(in.args[0]))]; tok {
+				enter(ti, out)
+			}
+		case OpJumps:
+			if target, tok := facts.jumpTargets[idx]; tok {
+				enter(index[target], out)
+			}
+			continue
+		}
+		if ni, nok := index[in.next]; nok {
+			enter(ni, out)
+		}
+	}
+	rep.HeapWritten = heapWritten
+
+	// Reporting pass: re-derive every check against the fixpoint states.
+	addFinding := func(pc int, op Op, sev Severity, format string, args ...any) {
+		rep.Findings = append(rep.Findings, Finding{PC: pc, Op: op, Severity: sev, Msg: fmt.Sprintf(format, args...)})
+	}
+	if !conservative {
+		reportChecks(&rep, ins, states, heapWritten, func(slot int) kmask { return heapMask[slot] | kInvalid }, addFinding)
+
+		// Dead code, coalesced into runs; unreachable reactions.
+		for i := 0; i < len(ins); i++ {
+			if states[i].seen {
+				continue
+			}
+			j := i
+			for j+1 < len(ins) && !states[j+1].seen {
+				j++
+			}
+			for k := i; k <= j; k++ {
+				rep.UnreachablePCs = append(rep.UnreachablePCs, ins[k].pc)
+			}
+			addFinding(ins[i].pc, ins[i].op, SevWarning, "unreachable code: pc %d..%d (%d instruction(s)) cannot execute on any path", ins[i].pc, ins[j].pc, j-i+1)
+			i = j
+		}
+		for _, e := range rep.ReactionEntries {
+			if ei, ok := index[e]; ok && !states[ei].seen {
+				addFinding(e, ins[ei].op, SevWarning, "unreachable reaction: entry pc %d is never registered (its regrxn cannot execute)", e)
+			}
+		}
+	}
+
+	// Energy bounding over the burst graph.
+	analyzeEnergy(&rep, ins, index, states, facts, conservative, costs, len(code), addFinding)
+
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i], rep.Findings[j]
+		if a.PC != b.PC {
+			return a.PC < b.PC
+		}
+		return a.Severity > b.Severity
+	})
+	return rep, rep.Err()
+}
+
+func hi(d, popMin, pushMax int) int { return min(StackDepth, d-popMin+pushMax) }
+
+// reportChecks re-derives the exact-state checks against the fixpoint
+// and records findings. Every check mirrors the interpreter's runtime
+// behavior (PopInt's coercions, PopLoc, PopFields, heap zero values), so
+// a SevError here is a death the interpreter is guaranteed to hit.
+func reportChecks(rep *AnalysisReport, ins []vinstr, states []astate, heapWritten uint16, readMask func(int) kmask, addFinding func(int, Op, Severity, string, ...any)) {
+	for idx, in := range ins {
+		s := states[idx]
+		if !s.seen {
+			continue
+		}
+
+		// Whole-program heap fact: reads of never-written slots.
+		if in.op == OpGetvar {
+			slot := int(in.args[0])
+			rep.HeapRead |= 1 << slot
+			if heapWritten&(1<<slot) == 0 {
+				addFinding(in.pc, in.op, SevError, "heap slot %d is read here but no reachable setvar ever writes it (the zero value is invalid)", slot)
+			}
+		}
+		if !s.exact {
+			continue
+		}
+
+		st := append([]aslot(nil), s.stack...)
+		depth := len(st)
+		underflow := func(need int) bool {
+			if len(st) < need {
+				addFinding(in.pc, in.op, SevError, "guaranteed stack underflow: %s needs %d value(s), every path reaches here with %d", in.info.Name, in.info.StackInMin(), depth)
+				return true
+			}
+			return false
+		}
+		want := func(fromTop int, m kmask, what string) {
+			v := st[len(st)-1-fromTop]
+			if v.mask&m == 0 {
+				addFinding(in.pc, in.op, SevError, "type mismatch: %s needs a %s %s but every path pushes a %s here", in.info.Name, m, what, v.mask)
+			}
+		}
+		popN := func(n int) { st = st[:len(st)-n] }
+
+		switch in.op {
+		case OpAdd, OpSub, OpAnd, OpOr, OpEq, OpNeq, OpLt, OpGt, OpCeq, OpCneq, OpClt, OpCgt:
+			if underflow(2) {
+				continue
+			}
+			want(0, kInt, "integer")
+			want(1, kInt, "integer")
+		case OpNot, OpInc, OpSleep, OpPutled, OpJumps, OpSense, OpGetnbr:
+			if underflow(1) {
+				continue
+			}
+			want(0, kInt, "integer")
+		case OpDup:
+			if underflow(1) {
+				continue
+			}
+			if depth >= StackDepth {
+				addFinding(in.pc, in.op, SevError, "guaranteed stack overflow: dup on a full stack (%d/%d) on every path", depth, StackDepth)
+			}
+		case OpPop, OpSetvar:
+			if underflow(1) {
+				continue
+			}
+		case OpSwap:
+			if underflow(2) {
+				continue
+			}
+		case OpSmove, OpWmove, OpSclone, OpWclone:
+			if underflow(1) {
+				continue
+			}
+			want(0, kLoc, "destination")
+		case OpOut, OpInp, OpRdp, OpIn, OpRd, OpTcount, OpDeregrxn, OpRegrxn, OpRout, OpRinp, OpRrdp:
+			switch in.op {
+			case OpRout, OpRinp, OpRrdp:
+				if underflow(2) {
+					continue
+				}
+				want(0, kLoc, "destination")
+				want(1, kInt, "field count")
+				popN(1)
+			case OpRegrxn:
+				if underflow(2) {
+					continue
+				}
+				want(0, kInt, "entry address")
+				want(1, kInt, "field count")
+				popN(1)
+			default:
+				if underflow(1) {
+					continue
+				}
+				want(0, kInt, "field count")
+			}
+			cnt := st[len(st)-1]
+			popN(1)
+			if cnt.hasConst {
+				n := int(cnt.c)
+				if n < 0 {
+					addFinding(in.pc, in.op, SevError, "negative field count %d", n)
+				} else if n > len(st) {
+					addFinding(in.pc, in.op, SevError, "guaranteed stack underflow: field count %d with %d value(s) beneath it", n, len(st))
+				}
+			}
+		case OpLoc, OpAid, OpRand, OpNumnbrs, OpRandnbr, OpPushc, OpPushcl, OpPushn, OpPusht, OpPushrt, OpPushloc, OpGetvar:
+			if depth >= StackDepth {
+				addFinding(in.pc, in.op, SevError, "guaranteed stack overflow: %s pushes onto a full stack (%d/%d) on every path", in.info.Name, depth, StackDepth)
+			}
+		}
+	}
+}
+
+// analyzeEnergy computes the worst-case per-burst energy bound over the
+// burst graph: the CFG with yielding instructions' outgoing edges cut
+// (their continuations become burst entries). A cycle that survives the
+// cuts is a busy loop that never yields — unbounded.
+func analyzeEnergy(rep *AnalysisReport, ins []vinstr, index map[int]int, states []astate, facts ctlFacts, conservative bool, costs EnergyCosts, codeLen int, addFinding func(int, Op, Severity, string, ...any)) {
+	if conservative {
+		rep.EnergyUnbounded = true
+		rep.UnboundedPC = facts.dynamicPC
+		why := "a jumps target is not statically visible"
+		if rep.UnboundedPC < 0 {
+			rep.UnboundedPC = facts.bypassPC
+			why = "a reaction entry is not statically certain"
+		}
+		op := ins[0].op
+		if i, ok := index[rep.UnboundedPC]; ok {
+			op = ins[i].op
+		}
+		addFinding(rep.UnboundedPC, op, SevWarning, "energy bound unavailable: %s, so the control-flow graph is not static", why)
+		return
+	}
+
+	// Successor edges within a burst.
+	succ := func(idx int) []int {
+		in := ins[idx]
+		if yields(in.op) {
+			return nil
+		}
+		var out []int
+		switch in.op {
+		case OpRjump:
+			if ti, ok := index[in.pc+int(int8(in.args[0]))]; ok {
+				out = append(out, ti)
+			}
+			return out
+		case OpRjumpc:
+			if ti, ok := index[in.pc+int(int8(in.args[0]))]; ok {
+				out = append(out, ti)
+			}
+		case OpJumps:
+			if t, ok := facts.jumpTargets[idx]; ok {
+				out = append(out, index[t])
+			}
+			return out
+		}
+		if ni, ok := index[in.next]; ok {
+			out = append(out, ni)
+		}
+		return out
+	}
+
+	// Burst entries: program start, reaction entries, yield
+	// continuations, and blocking in/rd retry points — reachable only.
+	entrySet := map[int]bool{}
+	addEntry := func(idx int) {
+		if states[idx].seen {
+			entrySet[idx] = true
+		}
+	}
+	addEntry(0)
+	for idx, e := range facts.rxnAt {
+		if states[idx].seen {
+			addEntry(index[e])
+		}
+	}
+	for idx, in := range ins {
+		if !states[idx].seen {
+			continue
+		}
+		switch in.op {
+		case OpSleep, OpSmove, OpWmove, OpSclone, OpWclone, OpRout, OpRinp, OpRrdp:
+			if ni, ok := index[in.next]; ok {
+				addEntry(ni)
+			}
+		case OpIn, OpRd:
+			addEntry(idx)
+		}
+	}
+
+	// Cycle check + longest path by iterative DFS with coloring.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	entries := make([]int, 0, len(entrySet))
+	for e := range entrySet {
+		entries = append(entries, e)
+	}
+	sort.Ints(entries)
+
+	color := make([]uint8, len(ins))
+	cost := make([]uint64, len(ins))
+	type frame struct {
+		idx  int
+		next int
+	}
+	for _, e := range entries {
+		if color[e] == black {
+			continue
+		}
+		stack := []frame{{idx: e}}
+		color[e] = grey
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			ss := succ(f.idx)
+			if f.next < len(ss) {
+				n := ss[f.next]
+				f.next++
+				switch color[n] {
+				case grey:
+					rep.EnergyUnbounded = true
+					rep.UnboundedPC = ins[f.idx].pc
+					addFinding(ins[f.idx].pc, ins[f.idx].op, SevWarning,
+						"unbounded energy: the loop back to pc %d never yields (no sleep, wait, migration, remote op, or blocking read on the cycle)", ins[n].pc)
+					return
+				case white:
+					color[n] = grey
+					stack = append(stack, frame{idx: n})
+				}
+				continue
+			}
+			// Post-order: all successors final.
+			var best uint64
+			for _, n := range ss {
+				if cost[n] > best {
+					best = cost[n]
+				}
+			}
+			cost[f.idx] = costs.OpCostNJ(ins[f.idx].op, codeLen) + best
+			color[f.idx] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	for _, e := range entries {
+		rep.BurstEntries = append(rep.BurstEntries, ins[e].pc)
+		if cost[e] > rep.EnergyBoundNJ {
+			rep.EnergyBoundNJ = cost[e]
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package vm
+
+// Static energy costing for the analyzer (analyze.go). The VM cannot
+// import internal/core (core imports vm), so the per-instruction energy
+// figures live here as integer nanojoules; core.EnergyModel converts
+// itself into an EnergyCosts via VMCosts, and a cross-package test pins
+// DefaultEnergyCosts to core.DefaultEnergyModel so the two cannot drift.
+
+// EnergyCosts is the subset of the deployment energy model the static
+// analyzer folds over a program's control-flow graph: what one executed
+// instruction, one transmitted frame, one transmitted payload byte, and
+// one sensor sample cost, all in integer nanojoules.
+type EnergyCosts struct {
+	// InstrNJ is charged per executed instruction.
+	InstrNJ uint64
+	// SendNJ is the fixed cost per transmitted frame (preamble, header,
+	// TX turnaround); SendByteNJ the airtime cost per payload byte.
+	SendNJ     uint64
+	SendByteNJ uint64
+	// SenseNJ is charged per sensor sample.
+	SenseNJ uint64
+}
+
+// DefaultEnergyCosts mirrors core.DefaultEnergyModel's MICA2 calibration
+// (24 mW ATmega128L, 81 mW CC1000 transmit at 38.4 kbps, ADC sampling).
+// internal/core's tests assert the two stay equal.
+func DefaultEnergyCosts() EnergyCosts {
+	return EnergyCosts{
+		InstrNJ:    2400,   // 2.4e-6 J
+		SendNJ:     300000, // 3.0e-4 J
+		SendByteNJ: 17000,  // 1.7e-5 J
+		SenseNJ:    15000,  // 1.5e-5 J
+	}
+}
+
+// Worst-case payload sizes for the radio-triggering instructions. The
+// analyzer charges a migration or remote operation the fixed frame cost
+// plus these byte counts — deliberate overestimates of the wire
+// encodings (internal/wire frames carry headers, field tags, and
+// per-field payloads of at most a few bytes), so the static bound stays
+// an upper bound on what the engine will charge.
+const (
+	// remotePayloadMax bounds an encoded remote request: header plus a
+	// full stack's worth of tuple fields at a generous 5 bytes each.
+	remotePayloadMax = 8 + 5*StackDepth
+	// migStateMax bounds a strong migration's architectural state beyond
+	// the code: registers plus every stack and heap slot at 5 bytes each.
+	migStateMax = 8 + 5*(StackDepth+HeapSlots)
+	// migHeaderMax bounds a weak migration's non-code payload.
+	migHeaderMax = 8
+)
+
+// OpCostNJ is the modelled worst-case energy of executing one instance
+// of op in a program of codeLen bytes: the flat per-instruction charge,
+// plus the sampling charge for sense, plus the worst-case transmit
+// charge for the instructions that trigger a radio frame (migrations
+// carry the code; strong migrations also carry stack and heap). The
+// analyzer and the soundness fuzz harness share this function, so the
+// static bound and the measured accumulation use identical arithmetic.
+func (c EnergyCosts) OpCostNJ(op Op, codeLen int) uint64 {
+	nj := c.InstrNJ
+	switch op {
+	case OpSense:
+		nj += c.SenseNJ
+	case OpRout, OpRinp, OpRrdp:
+		nj += c.SendNJ + uint64(remotePayloadMax)*c.SendByteNJ
+	case OpWmove, OpWclone:
+		nj += c.SendNJ + uint64(codeLen+migHeaderMax)*c.SendByteNJ
+	case OpSmove, OpSclone:
+		nj += c.SendNJ + uint64(codeLen+migStateMax)*c.SendByteNJ
+	}
+	return nj
+}

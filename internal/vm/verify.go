@@ -128,7 +128,6 @@ func Verify(code []byte) (VerifyReport, error) {
 
 	// Pass 2: operand ranges and statically visible addresses.
 	boundary := func(pc int) bool { _, ok := index[pc]; return ok }
-	jumpTargets := make(map[int]int) // ins index -> static jumps target pc
 	for i, in := range ins {
 		switch in.info.Kind {
 		case OperandHeap:
@@ -173,18 +172,22 @@ func Verify(code []byte) (VerifyReport, error) {
 			case OpRegrxn:
 				if v < 0 || v >= len(code) || !boundary(v) {
 					fail(in.pc, in.op, "reaction entry %d is not an instruction address", v)
-				} else {
-					rep.ReactionEntries = append(rep.ReactionEntries, v)
 				}
 			case OpJumps:
 				if v < 0 || v >= len(code) || !boundary(v) {
 					fail(in.pc, in.op, "jumps target %d is not an instruction address", v)
-				} else {
-					jumpTargets[i+1] = v
 				}
 			}
 		}
 	}
+
+	// Control-flow facts shared with Analyze. An idiom consumer that is
+	// itself a direct jump target is demoted to dynamic: a runtime path
+	// could enter it without executing the feeding push, so the value it
+	// pops — and therefore its target — is not the visible constant.
+	facts := controlFacts(ins, len(code), boundary)
+	jumpTargets := facts.jumpTargets
+	rep.ReactionEntries = facts.rxnEntries
 
 	// Pass 3 + 4: control flow and stack-depth intervals, propagated to
 	// a fixpoint. Terminators (halt; wait, whose continuation is a
@@ -220,16 +223,11 @@ func Verify(code []byte) (VerifyReport, error) {
 		// fields, and their count on top of whatever the agent had.
 		enter(index[pc], 0, StackDepth)
 	}
-	for i, in := range ins {
-		if in.op == OpJumps {
-			if _, ok := jumpTargets[i]; !ok {
-				// Dynamic jump: every instruction is conservatively
-				// reachable with any stack.
-				rep.DynamicJumps = true
-			}
-		}
-	}
-	if rep.DynamicJumps {
+	rep.DynamicJumps = facts.dynamic
+	if rep.DynamicJumps || facts.bypassed {
+		// Dynamic jump, or a reaction entry that is not statically
+		// certain: every instruction is conservatively reachable with
+		// any stack.
 		for i := range ins {
 			enter(i, 0, StackDepth)
 		}

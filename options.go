@@ -6,6 +6,7 @@ import (
 
 	"github.com/agilla-go/agilla/internal/core"
 	"github.com/agilla-go/agilla/internal/radio"
+	"github.com/agilla-go/agilla/program"
 )
 
 // RadioParams configures the radio latency/loss model. LossyRadio returns
@@ -40,6 +41,7 @@ type settings struct {
 	energy      *EnergyModel
 	workers     int
 	replication *core.Replication
+	admission   *float64
 }
 
 // Option configures New.
@@ -81,6 +83,24 @@ func WithNodeConfig(cfg NodeConfig) Option {
 // taste.
 func WithEnergy(m EnergyModel) Option {
 	return func(s *settings) { cp := m; s.energy = &cp }
+}
+
+// WithAdmissionBudget turns on static admission control in Launch: every
+// program is run through the dataflow and energy analysis
+// (program.Analyze) with the deployment's energy calibration, and agents
+// the analysis cannot certify are rejected with ErrAdmission before any
+// radio traffic is spent on them. Rejected are programs with error-level
+// findings (guaranteed stack faults, type mismatches, reads of
+// never-written heap slots), programs with no finite per-burst energy
+// bound, and — when budgetJ > 0 — programs whose bound exceeds budgetJ
+// joules per burst. A budgetJ of 0 (or negative) rejects only uncertifiable
+// programs without capping the bound.
+//
+// The calibration follows WithEnergy's model when one is set, else
+// DefaultEnergyModel; only the per-instruction, send, and sense costs
+// enter the static bound.
+func WithAdmissionBudget(budgetJ float64) Option {
+	return func(s *settings) { s.admission = &budgetJ }
 }
 
 // WithReplication turns on the gossip CRDT replication layer: every mote
@@ -149,7 +169,24 @@ func New(opts ...Option) (*Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("agilla: %w", err)
 	}
-	return &Network{d: d}, nil
+	nw := &Network{d: d}
+	if s.admission != nil {
+		model := core.DefaultEnergyModel()
+		if s.energy != nil {
+			model = *s.energy
+		}
+		c := model.VMCosts()
+		nw.admission = &admission{
+			budgetJ: *s.admission,
+			costs: program.EnergyCosts{
+				InstrNJ:    c.InstrNJ,
+				SendNJ:     c.SendNJ,
+				SendByteNJ: c.SendByteNJ,
+				SenseNJ:    c.SenseNJ,
+			},
+		}
+	}
+	return nw, nil
 }
 
 // Options configures a simulated deployment for NewNetwork. It predates

@@ -1,0 +1,135 @@
+package program
+
+import (
+	"strings"
+	"testing"
+)
+
+// Golden analysis reports for every library agent. The paper's agents
+// are the acceptance bar for the analyzer: all must be finding-free
+// with a finite per-burst energy bound. The pinned numbers double as a
+// drift alarm — an ISA cost change or analyzer regression shows up as a
+// diff here, not as a silent admission-policy shift.
+func TestAnalyzeLibraryGolden(t *testing.T) {
+	type golden struct {
+		boundNJ uint64
+		entries int
+		heapW   uint16
+		heapR   uint16
+		stack   int
+		mayOvf  bool
+	}
+	want := map[string]golden{
+		"blink":           {boundNJ: 16800, entries: 1, stack: 3},
+		"smove-roundtrip": {boundNJ: 2973800, entries: 3, stack: 1},
+		"rout":            {boundNJ: 1805600, entries: 2, stack: 3},
+		"fire-detector":   {boundNJ: 1837400, entries: 3, stack: 4},
+		"fire-tracker":    {boundNJ: 4397200, entries: 6, heapW: 0xc00, heapR: 0xc00, stack: 16, mayOvf: true},
+		"fire-sentinel":   {boundNJ: 1837400, entries: 4, stack: 16, mayOvf: true},
+	}
+	seen := make(map[string]bool)
+	for _, e := range Library() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			g, ok := want[e.Name]
+			if !ok {
+				t.Fatalf("no golden entry for library agent %q — add one", e.Name)
+			}
+			seen[e.Name] = true
+			rep := Analyze(e.Program)
+			if len(rep.Findings) != 0 {
+				t.Errorf("expected a clean report, got findings:\n%s", rep)
+			}
+			if rep.EnergyUnbounded {
+				t.Fatalf("expected a finite energy bound, got unbounded at %s", rep.UnboundedPos)
+			}
+			if rep.EnergyBoundNJ != g.boundNJ {
+				t.Errorf("EnergyBoundNJ = %d, want %d", rep.EnergyBoundNJ, g.boundNJ)
+			}
+			if len(rep.BurstEntries) != g.entries {
+				t.Errorf("BurstEntries = %v, want %d entries", rep.BurstEntries, g.entries)
+			}
+			if rep.HeapWritten != g.heapW || rep.HeapRead != g.heapR {
+				t.Errorf("heap masks = %#x/%#x, want %#x/%#x", rep.HeapWritten, rep.HeapRead, g.heapW, g.heapR)
+			}
+			if rep.MaxStackDepth != g.stack || rep.MayOverflow != g.mayOvf {
+				t.Errorf("stack = %d overflow=%v, want %d overflow=%v", rep.MaxStackDepth, rep.MayOverflow, g.stack, g.mayOvf)
+			}
+			if rep.Err() != nil {
+				t.Errorf("Err() = %v, want nil", rep.Err())
+			}
+		})
+	}
+	for name := range want {
+		if !seen[name] {
+			t.Errorf("golden entry %q has no library agent — remove it", name)
+		}
+	}
+}
+
+// Findings on parsed programs point at source lines.
+func TestAnalyzeParsedPositions(t *testing.T) {
+	p := MustParse(`
+		pushc 5
+		smove
+		halt
+	`)
+	rep := Analyze(p)
+	if !rep.HasErrors() {
+		t.Fatalf("expected a type-mismatch error finding, got:\n%s", rep)
+	}
+	f := rep.Findings[0]
+	if f.Pos != "line 3" {
+		t.Errorf("finding positioned at %q, want \"line 3\"", f.Pos)
+	}
+	if !strings.Contains(f.Msg, "type mismatch") {
+		t.Errorf("finding message %q, want a type mismatch", f.Msg)
+	}
+	if err := rep.Err(); err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("Err() = %v, want source-positioned error", err)
+	}
+}
+
+// Findings on built programs point at builder steps.
+func TestAnalyzeBuiltPositions(t *testing.T) {
+	p, err := New().PushC(5).Smove().Halt().Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	rep := Analyze(p)
+	if !rep.HasErrors() {
+		t.Fatalf("expected a type-mismatch error finding, got:\n%s", rep)
+	}
+	if f := rep.Findings[0]; !strings.Contains(f.Pos, "step 2") {
+		t.Errorf("finding positioned at %q, want a \"step 2\" position", f.Pos)
+	}
+}
+
+// Findings on byte-loaded programs fall back to program counters.
+func TestAnalyzeBytesPositions(t *testing.T) {
+	src := MustParse("pushc 5\nsmove\nhalt\n")
+	p, err := FromBytes(src.Bytes())
+	if err != nil {
+		t.Fatalf("FromBytes: %v", err)
+	}
+	rep := Analyze(p)
+	if !rep.HasErrors() {
+		t.Fatalf("expected a type-mismatch error finding, got:\n%s", rep)
+	}
+	if f := rep.Findings[0]; !strings.HasPrefix(f.Pos, "pc=") {
+		t.Errorf("finding positioned at %q, want a pc= fallback", f.Pos)
+	}
+}
+
+// AnalyzeWithCosts scales the bound with the supplied calibration, and
+// the zero value means the default table.
+func TestAnalyzeWithCosts(t *testing.T) {
+	p := MustParse("pushc 1\npop\nhalt\n")
+	if got, want := AnalyzeWithCosts(p, EnergyCosts{}).EnergyBoundNJ, Analyze(p).EnergyBoundNJ; got != want {
+		t.Errorf("zero-value costs bound = %d, default bound = %d", got, want)
+	}
+	rep := AnalyzeWithCosts(p, EnergyCosts{InstrNJ: 10, SendNJ: 1, SendByteNJ: 1, SenseNJ: 1})
+	if rep.EnergyBoundNJ != 30 {
+		t.Errorf("bound with 10 nJ/instr = %d, want 30", rep.EnergyBoundNJ)
+	}
+}

@@ -530,7 +530,11 @@ func (b *Builder) Build() (*Program, error) {
 		}
 		return nil, fmt.Errorf("%w: %w", ErrVerify, errors.Join(errs...))
 	}
-	return &Program{name: b.name, code: code, report: rep}, nil
+	where := make(map[int]string, len(b.ins))
+	for i := range b.ins {
+		where[addr[i]] = b.pos(i)
+	}
+	return &Program{name: b.name, code: code, report: rep, where: where}, nil
 }
 
 // MustBuild is Build, panicking on error; for hard-coded programs.

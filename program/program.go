@@ -54,17 +54,35 @@ type Program struct {
 	code   []byte
 	source string
 	report vm.VerifyReport
+	// where maps instruction byte addresses to human positions ("line
+	// 12" for parsed programs, "step 3 (out) after label L" for built
+	// ones), so Analyze findings point at the authoring surface the way
+	// verification errors do.
+	where map[int]string
+}
+
+// pos renders the authoring position of the instruction at pc, falling
+// back to the raw program counter for byte-loaded programs.
+func (p *Program) pos(pc int) string {
+	if s, ok := p.where[pc]; ok {
+		return s
+	}
+	return fmt.Sprintf("pc=%d", pc)
 }
 
 // Parse assembles Agilla assembly source (the dialect of the paper's
 // Figures 2, 8, and 13) and verifies it. Errors carry the source line
 // and offending token.
 func Parse(src string) (*Program, error) {
-	code, rep, err := asm.AssembleReport(src)
+	code, rep, pcLines, err := asm.AssembleWithLines(src)
 	if err != nil {
 		return nil, err
 	}
-	return &Program{code: code, source: src, report: rep}, nil
+	where := make(map[int]string, len(pcLines))
+	for pc, line := range pcLines {
+		where[pc] = fmt.Sprintf("line %d", line)
+	}
+	return &Program{code: code, source: src, report: rep, where: where}, nil
 }
 
 // MustParse is Parse, panicking on error; for hard-coded programs.

@@ -1,0 +1,231 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSrc typechecks one fixture file as package path and runs the
+// determinism rules over it. Std-lib imports resolve from GOROOT source.
+func checkSrc(t *testing.T, path, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return Check(fset, []*ast.File{f}, pkg, info)
+}
+
+const gatedPath = "github.com/agilla-go/agilla/internal/core"
+
+// wantDiags asserts the diagnostics' analyzers, in order.
+func wantDiags(t *testing.T, diags []Diagnostic, analyzers ...string) {
+	t.Helper()
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer)
+	}
+	if strings.Join(got, ",") != strings.Join(analyzers, ",") {
+		t.Errorf("diagnostics = %v, want analyzers %v", diags, analyzers)
+	}
+}
+
+func TestWalltime(t *testing.T) {
+	diags := checkSrc(t, gatedPath, `
+package core
+
+import "time"
+
+func bad() time.Time { return time.Now() }
+
+func alsoBad() {
+	_ = time.Since(time.Time{})
+	t := time.NewTimer(time.Second)
+	_ = t
+}
+
+// Pure duration arithmetic and formatting are fine.
+func good(d time.Duration) string { return (3 * d).String() }
+`)
+	wantDiags(t, diags, "walltime", "walltime", "walltime")
+	if !strings.Contains(diags[0].Message, "time.Now") {
+		t.Errorf("message = %q, want time.Now named", diags[0].Message)
+	}
+}
+
+func TestSimrand(t *testing.T) {
+	diags := checkSrc(t, gatedPath, `
+package core
+
+import "math/rand"
+
+func bad() int { return rand.Intn(10) }
+
+// A private source is deterministic given its seed: this is exactly the
+// sim.Stream pattern, so constructing and using one is allowed.
+func good(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+`)
+	wantDiags(t, diags, "simrand")
+	if !strings.Contains(diags[0].Message, "rand.Intn") {
+		t.Errorf("message = %q, want rand.Intn named", diags[0].Message)
+	}
+}
+
+func TestMaprange(t *testing.T) {
+	diags := checkSrc(t, gatedPath, `
+package core
+
+func bad(m map[int]string) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func good(s []string) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}
+`)
+	wantDiags(t, diags, "maprange")
+}
+
+func TestGospawn(t *testing.T) {
+	diags := checkSrc(t, gatedPath, `
+package core
+
+func bad(f func()) { go f() }
+
+func good(f func()) { f() }
+`)
+	wantDiags(t, diags, "gospawn")
+}
+
+func TestLockorder(t *testing.T) {
+	diags := checkSrc(t, gatedPath, `
+package core
+
+import "sync"
+
+type shard struct{ mu sync.Mutex }
+
+type agentTracker struct{ mu sync.Mutex }
+
+// Tracker-then-shard inverts the documented order.
+func bad(tr *agentTracker, sh *shard) {
+	tr.mu.Lock()
+	sh.mu.Lock()
+	sh.mu.Unlock()
+	tr.mu.Unlock()
+}
+
+// Shard-then-tracker is the documented order.
+func good(tr *agentTracker, sh *shard) {
+	sh.mu.Lock()
+	tr.mu.Lock()
+	tr.mu.Unlock()
+	sh.mu.Unlock()
+}
+
+// Sequential (non-nested) acquisitions are fine in either order.
+func alsoGood(tr *agentTracker, sh *shard) {
+	tr.mu.Lock()
+	tr.mu.Unlock()
+	sh.mu.Lock()
+	sh.mu.Unlock()
+}
+`)
+	wantDiags(t, diags, "lockorder")
+	if !strings.Contains(diags[0].Message, "shard") || !strings.Contains(diags[0].Message, "agentTracker") {
+		t.Errorf("message = %q, want both lock classes named", diags[0].Message)
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	diags := checkSrc(t, gatedPath, `
+package core
+
+// A justified suppression on the preceding line silences the finding.
+func suppressedAbove(m map[int]int) {
+	//lint:maprange the body only counts entries, which is order-free
+	for range m {
+	}
+}
+
+// Same-line suppressions work too.
+func suppressedInline(m map[int]int) {
+	for range m { //lint:maprange counting is order-free
+	}
+}
+
+// A bare suppression suppresses nothing and is itself reported.
+func bare(m map[int]int) {
+	//lint:maprange
+	for range m {
+	}
+}
+
+// A justification for one analyzer does not silence another.
+func wrongName(f func()) {
+	//lint:maprange not the right rule
+	go f()
+}
+`)
+	// Sorted by position: the bare //lint: comment itself, the map range
+	// it failed to suppress, then the go statement the wrong-name
+	// suppression failed to cover.
+	wantDiags(t, diags, "maprange", "maprange", "gospawn")
+	if !strings.Contains(diags[0].Message, "justification") {
+		t.Errorf("bare suppression message = %q, want justification demand", diags[0].Message)
+	}
+}
+
+func TestGate(t *testing.T) {
+	src := `
+package outside
+
+import "time"
+
+func fine() time.Time { return time.Now() }
+`
+	if diags := checkSrc(t, "github.com/agilla-go/agilla/internal/experiments", src); len(diags) != 0 {
+		t.Errorf("ungated package produced diagnostics: %v", diags)
+	}
+	for _, path := range []string{
+		"github.com/agilla-go/agilla/internal/core",
+		"github.com/agilla-go/agilla/internal/sim",
+		"github.com/agilla-go/agilla/internal/replica",
+		"github.com/agilla-go/agilla/internal/radio",
+	} {
+		if !Gated(path) {
+			t.Errorf("Gated(%q) = false, want true", path)
+		}
+	}
+	if Gated("github.com/agilla-go/agilla/internal/corelike") {
+		t.Error("prefix match must respect path boundaries")
+	}
+}

@@ -1,0 +1,15 @@
+// Command agilla-lint runs the repository's determinism linters as a
+// `go vet` tool:
+//
+//	go build -o /tmp/agilla-lint ./tools/analyzers/cmd/agilla-lint
+//	go vet -vettool=/tmp/agilla-lint ./...
+//
+// The rules fire only inside the deterministic kernel packages
+// (internal/core, internal/sim, internal/replica, internal/radio); see
+// the analyzers package for the rule list and the //lint: suppression
+// syntax.
+package main
+
+import "github.com/agilla-go/agilla/tools/analyzers"
+
+func main() { analyzers.Main() }

@@ -1,0 +1,95 @@
+package analyzers
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoVetProtocol exercises the unitchecker implementation against the
+// real cmd/go: it builds agilla-lint, then runs `go vet -vettool` over a
+// scratch module that shares this module's path (so the gate fires) and
+// contains one clean and one violating kernel file. This is the only
+// test that proves the -V=full / -flags / unit.cfg handshake works.
+func TestGoVetProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and shells out to go vet")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("no go tool on PATH: %v", err)
+	}
+	root := repoRoot(t)
+	tmp := t.TempDir()
+
+	lint := filepath.Join(tmp, "agilla-lint")
+	build := exec.Command(goTool, "build", "-o", lint, "./tools/analyzers/cmd/agilla-lint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building agilla-lint: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "mod")
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module github.com/agilla-go/agilla\n\ngo 1.22\n")
+	write("internal/core/bad.go", `package core
+
+import "time"
+
+// Stamp leaks the wall clock into kernel code.
+func Stamp() time.Time { return time.Now() }
+`)
+	write("internal/core/ok.go", `package core
+
+func sum(m map[int]int) int {
+	n := 0
+	//lint:maprange the sum is commutative
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+`)
+	write("pkg/outside.go", `package pkg
+
+import "time"
+
+// Outside the gate: wall clocks are fine here.
+func Stamp() time.Time { return time.Now() }
+`)
+
+	vet := func(pkg string) (string, error) {
+		cmd := exec.Command(goTool, "vet", "-vettool="+lint, pkg)
+		cmd.Dir = mod
+		// An isolated GOFLAGS keeps any user vet config out of the run.
+		cmd.Env = append(os.Environ(), "GOFLAGS=")
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	out, err := vet("./internal/core")
+	if err == nil {
+		t.Fatalf("go vet on the violating package succeeded; output:\n%s", out)
+	}
+	if !strings.Contains(out, "walltime") || !strings.Contains(out, "time.Now") {
+		t.Errorf("vet output missing the walltime finding:\n%s", out)
+	}
+	if strings.Contains(out, "maprange") {
+		t.Errorf("vet output contains a finding the //lint: comment should suppress:\n%s", out)
+	}
+
+	if out, err := vet("./pkg"); err != nil {
+		t.Errorf("go vet on an ungated package failed: %v\n%s", err, out)
+	}
+}
