@@ -81,6 +81,7 @@ import (
 	"github.com/agilla-go/agilla/internal/firesim"
 	"github.com/agilla-go/agilla/internal/sensor"
 	"github.com/agilla-go/agilla/internal/topology"
+	"github.com/agilla-go/agilla/internal/transport"
 	"github.com/agilla-go/agilla/internal/tuplespace"
 	"github.com/agilla-go/agilla/program"
 )
@@ -217,6 +218,16 @@ type Network struct {
 	d         *core.Deployment
 	ev        events
 	admission *admission
+
+	// bridge, when non-nil, connects this process's half of the field to
+	// peer processes over a transport (WithTransportBridge). Bridged runs
+	// advance in quanta of the configured pump interval; idle runs after
+	// each quantum (default: a 1:1 wall-clock sleep so concurrently
+	// running peers keep pace — tests swap in a hook that co-drives the
+	// peer network instead).
+	bridge  *transport.Bridge
+	quantum time.Duration
+	idle    func(step time.Duration)
 }
 
 // admission is the resolved WithAdmissionBudget policy: the per-burst
@@ -279,18 +290,36 @@ func (nw *Network) Bounds() Rect {
 func (nw *Network) Now() time.Duration { return nw.d.Sim.Now() }
 
 // WarmUp starts beaconing and runs until neighbor discovery settles.
-// Call once before injecting agents.
-func (nw *Network) WarmUp() error { return nw.d.WarmUp() }
+// Call once before injecting agents. On a bridged network the warm-up is
+// pumped every quantum so beacons relay across the border and both halves
+// discover their cross-process neighbors.
+func (nw *Network) WarmUp() error {
+	if nw.bridge == nil {
+		return nw.d.WarmUp()
+	}
+	nw.d.Start()
+	period := nw.d.Base.Config().Network.BeaconEvery
+	if period <= 0 {
+		period = 2 * time.Second
+	}
+	return nw.Run(2*period + period/2)
+}
 
-// Run advances virtual time by d.
+// Run advances virtual time by d. On a bridged network the run proceeds
+// in pump quanta (see WithTransportBridge).
 func (nw *Network) Run(d time.Duration) error {
+	if nw.bridge != nil {
+		_, err := nw.runUntilAt(nil, nw.d.Sim.Now()+d)
+		return err
+	}
 	return nw.d.Sim.Run(nw.d.Sim.Now() + d)
 }
 
 // RunUntil advances virtual time until pred is true or limit elapses,
-// reporting whether pred became true.
+// reporting whether pred became true. Bridged networks evaluate pred at
+// pump-quantum boundaries.
 func (nw *Network) RunUntil(pred func() bool, limit time.Duration) (bool, error) {
-	return nw.d.Sim.RunUntil(pred, nw.d.Sim.Now()+limit)
+	return nw.runUntilAt(pred, nw.d.Sim.Now()+limit)
 }
 
 // Launch injects a verified Program from the base station toward dest,
@@ -307,7 +336,7 @@ func (nw *Network) Launch(p *Program, dest Location) (*Agent, error) {
 	if p == nil {
 		return nil, fmt.Errorf("agilla: Launch needs a program")
 	}
-	if nw.d.Node(dest) == nil {
+	if nw.d.Node(dest) == nil && !nw.bridgeOwns(dest) {
 		return nil, fmt.Errorf("%w at %v", ErrNoSuchNode, dest)
 	}
 	if nw.admission != nil {

@@ -41,6 +41,13 @@
 //	          the tuple-survival and remote-lookup gains
 //	          under the identical schedule and seed.
 //	          Also opt-in, for the same reason as scale.
+//	wire      transport throughput for the distributed
+//	          runtime: a fixed migration+gossip frame mix
+//	          through the in-memory loopback and localhost
+//	          UDP transports; -json writes BENCH_wire.json
+//	          rows (transport, frames, bytes, received,
+//	          wall_secs, frames_per_sec, bytes_per_sec).
+//	          Opt-in like scale and churn.
 //
 // With -json PATH and a single JSON-capable experiment selected, PATH is
 // the output file. With both scale and churn selected, PATH is treated
@@ -62,13 +69,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: fig9,fig10,fig11,fig12,fig5,memory,speed,casestudy,ensemble,mate,ablate,scale,churn,all")
+	exp := flag.String("exp", "all", "comma-separated experiments: fig9,fig10,fig11,fig12,fig5,memory,speed,casestudy,ensemble,mate,ablate,scale,churn,wire,all")
 	trials := flag.Int("trials", 100, "trials per data point")
 	seed := flag.Int64("seed", 7, "simulation seed")
 	runs := flag.Int("runs", 8, "seeds for the ensemble experiment")
 	quick := flag.Bool("quick", false, "reduced trial counts for a fast pass")
 	workers := flag.Int("workers", 4, "max kernel parallelism the scale/churn experiments sweep up to")
-	jsonPath := flag.String("json", "", "write scale/churn rows as JSON: a file when one such experiment is selected, a directory (BENCH_scale.json, BENCH_churn.json) when both are")
+	jsonPath := flag.String("json", "", "write scale/churn/wire rows as JSON: a file when one such experiment is selected, a directory (BENCH_scale.json, BENCH_churn.json, BENCH_wire.json) when several are")
 	replication := flag.Bool("replication", false, "add gossip-replicated rows to the churn sweep, beside the baseline rows")
 	flag.Parse()
 
@@ -137,7 +144,13 @@ func main() {
 		if *jsonPath == "" {
 			return "", nil
 		}
-		if !(want["scale"] && want["churn"]) {
+		jsonable := 0
+		for _, n := range []string{"scale", "churn", "wire"} {
+			if want[n] {
+				jsonable++
+			}
+		}
+		if jsonable < 2 {
 			return *jsonPath, nil
 		}
 		if err := os.MkdirAll(*jsonPath, 0o755); err != nil {
@@ -176,6 +189,9 @@ func main() {
 	}
 	if want["churn"] {
 		runJSON("BENCH_churn.json", func() (jsonResult, error) { return experiments.Churn(cfg) })
+	}
+	if want["wire"] {
+		runJSON("BENCH_wire.json", func() (jsonResult, error) { return experiments.Wire(cfg) })
 	}
 
 	if ctx.Err() != nil {

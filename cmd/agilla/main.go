@@ -12,6 +12,8 @@
 //	agilla asm prog.agilla                        # ... and print the report
 //	agilla disasm prog.bin                        # bytecode (or source) -> listing
 //	agilla vet -strict -lib examples/agents       # dataflow + energy analysis
+//	agilla serve -listen udp:127.0.0.1:7001 \
+//	    -peer udp:127.0.0.1:7002=4-6,1-4+100,100  # one process of a split field
 //
 // The program file uses the assembly dialect of the paper's Figures 2, 8,
 // and 13; see the program package. The asm subcommand runs the static
@@ -47,6 +49,8 @@ func main() {
 		err = runDisasm(args[1:])
 	case len(args) > 0 && args[0] == "vet":
 		err = runVet(args[1:])
+	case len(args) > 0 && args[0] == "serve":
+		err = runServe(args[1:])
 	default:
 		err = run(args)
 	}

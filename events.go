@@ -586,12 +586,18 @@ func (nw *Network) Events(filters ...EventFilter) <-chan Event {
 //   - Close is idempotent, and subscribing after Close yields an
 //     immediately-closed channel.
 //
-// The network itself remains usable — Close only concerns subscriptions.
+// On a bridged network (WithTransportBridge) Close also tears down the
+// border: the transport closes and frames to peer-owned locations are
+// dropped from then on. The local simulation itself remains usable.
 func (nw *Network) Close() error {
+	var err error
+	if nw.bridge != nil {
+		err = nw.bridge.Close()
+	}
 	nw.ev.mu.Lock()
 	defer nw.ev.mu.Unlock()
 	if nw.ev.closed {
-		return nil
+		return err
 	}
 	nw.ev.closed = true
 	for _, c := range nw.ev.closers {
@@ -599,7 +605,7 @@ func (nw *Network) Close() error {
 	}
 	nw.ev.subs = nil
 	nw.ev.closers = nil
-	return nil
+	return err
 }
 
 // publish fans one event out to every matching subscription.

@@ -274,7 +274,7 @@ func (n *Node) encodeSnapshot(om *outMigration) ([][]byte, []msgMeta) {
 func (n *Node) sendCurrent(om *outMigration) {
 	if n.cfg.EndToEndMigration {
 		for _, m := range om.msgs {
-			env := wire.Envelope{Src: n.loc, Dst: om.snap.dest, TTL: 32, Kind: radio.KindMigrate, Body: m}
+			env := wire.Envelope{Src: n.loc, Dst: om.snap.dest, TTL: 32, Kind: uint8(radio.KindMigrate), Body: m}
 			if hop, ok := n.net.NextHop(om.snap.dest); ok {
 				n.net.SendDirect(hop, radio.KindMigrate, env.Encode())
 			}
@@ -568,7 +568,7 @@ func (n *Node) ackIn(to topology.Location, key inKey, t wire.MsgType, idx uint8,
 	ack := wire.AckMsg{AgentID: key.agentID, Seq: key.seq, Of: t, Index: idx}
 	if e2e {
 		ack.Of, ack.Index = wire.MsgState, 0xff
-		env := wire.Envelope{Src: n.loc, Dst: to, TTL: 32, Kind: radio.KindMigrateCtl, Body: ack.Encode()}
+		env := wire.Envelope{Src: n.loc, Dst: to, TTL: 32, Kind: uint8(radio.KindMigrateCtl), Body: ack.Encode()}
 		if hop, ok := n.net.NextHop(to); ok {
 			n.net.SendDirect(hop, radio.KindMigrateCtl, env.Encode())
 		}

@@ -406,7 +406,7 @@ func (n *Node) handleDirect(f radio.Frame) {
 
 // handleRouted receives end-to-end traffic: remote tuple space requests
 // addressed to this node and replies to requests this node initiated.
-func (n *Node) handleRouted(kind uint8, env wire.Envelope) {
+func (n *Node) handleRouted(kind radio.FrameKind, env wire.Envelope) {
 	switch kind {
 	case radio.KindRemoteTS:
 		n.serveRemoteRequest(env)

@@ -60,8 +60,8 @@ type Capsule struct {
 
 // Frame kinds on the Maté medium.
 const (
-	kindSummary uint8 = 21 // version advertisement
-	kindCapsule uint8 = 22 // full capsule broadcast
+	kindSummary radio.FrameKind = 21 // version advertisement
+	kindCapsule radio.FrameKind = 22 // full capsule broadcast
 )
 
 // Config tunes the Maté network.

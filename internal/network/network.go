@@ -161,7 +161,7 @@ type Stack struct {
 
 	// DeliverRouted receives envelope payloads whose final destination is
 	// this node (remote tuple space requests and replies).
-	DeliverRouted func(kind uint8, env wire.Envelope)
+	DeliverRouted func(kind radio.FrameKind, env wire.Envelope)
 	// DeliverDirect receives non-beacon, non-routed frames (migration data
 	// and control, which run their own hop-by-hop protocol).
 	DeliverDirect func(f radio.Frame)
@@ -295,7 +295,7 @@ func (st *Stack) HandleFrame(f radio.Frame) {
 
 // SendDirect transmits a one-hop frame to a direct neighbor. The migration
 // protocol uses this and supplies its own acknowledgments.
-func (st *Stack) SendDirect(to topology.Location, kind uint8, payload []byte) {
+func (st *Stack) SendDirect(to topology.Location, kind radio.FrameKind, payload []byte) {
 	if st.transmit(radio.Frame{Src: st.self, Dst: to, Kind: kind, Payload: payload}) {
 		st.stats.DirectFrames++
 	}
@@ -307,8 +307,8 @@ var ErrNoRoute = fmt.Errorf("network: no neighbor closer to destination")
 // SendRouted originates an envelope toward dst using greedy geographic
 // forwarding. If dst is this node the payload is delivered locally (via
 // DeliverRouted) without touching the radio.
-func (st *Stack) SendRouted(dst topology.Location, kind uint8, body []byte) error {
-	env := wire.Envelope{Src: st.self, Dst: dst, TTL: st.cfg.TTL, Kind: kind, Body: body}
+func (st *Stack) SendRouted(dst topology.Location, kind radio.FrameKind, body []byte) error {
+	env := wire.Envelope{Src: st.self, Dst: dst, TTL: st.cfg.TTL, Kind: uint8(kind), Body: body}
 	st.stats.Originated++
 	if dst == st.self {
 		st.stats.DeliveredUp++
@@ -320,7 +320,7 @@ func (st *Stack) SendRouted(dst topology.Location, kind uint8, body []byte) erro
 	return st.forward(kind, env)
 }
 
-func (st *Stack) routeOrDeliver(kind uint8, env wire.Envelope) {
+func (st *Stack) routeOrDeliver(kind radio.FrameKind, env wire.Envelope) {
 	if env.Dst == st.self {
 		st.stats.DeliveredUp++
 		if st.DeliverRouted != nil {
@@ -339,7 +339,7 @@ func (st *Stack) routeOrDeliver(kind uint8, env wire.Envelope) {
 	}
 }
 
-func (st *Stack) forward(kind uint8, env wire.Envelope) error {
+func (st *Stack) forward(kind radio.FrameKind, env wire.Envelope) error {
 	hop, ok := st.NextHop(env.Dst)
 	if !ok {
 		st.stats.RouteStalls++

@@ -120,7 +120,7 @@ func TestGreedyRouteDelivers(t *testing.T) {
 	var deliveredAt topology.Location
 	var deliveredBody []byte
 	dst := topology.Loc(5, 5)
-	stacks[dst].DeliverRouted = func(kind uint8, env wire.Envelope) {
+	stacks[dst].DeliverRouted = func(kind radio.FrameKind, env wire.Envelope) {
 		deliveredAt = env.Dst
 		deliveredBody = env.Body
 	}
@@ -143,7 +143,7 @@ func TestRouteToSelfDeliversLocally(t *testing.T) {
 	s, m, _ := testNet(t, 1, 1, Config{})
 	st := NewStack(s.Context(sim.Key2D(9, 9)), m, topology.Loc(9, 9), Config{})
 	got := false
-	st.DeliverRouted = func(kind uint8, env wire.Envelope) { got = true }
+	st.DeliverRouted = func(kind radio.FrameKind, env wire.Envelope) { got = true }
 	if err := st.SendRouted(topology.Loc(9, 9), radio.KindRemoteTS, []byte{1}); err != nil {
 		t.Fatalf("send: %v", err)
 	}
@@ -190,7 +190,7 @@ func TestRouteHopCountMatchesManhattan(t *testing.T) {
 			}
 		}
 		done := false
-		stacks[tc.dst].DeliverRouted = func(kind uint8, env wire.Envelope) { done = true }
+		stacks[tc.dst].DeliverRouted = func(kind radio.FrameKind, env wire.Envelope) { done = true }
 		if err := stacks[tc.src].SendRouted(tc.dst, radio.KindRemoteTS, nil); err != nil {
 			t.Fatalf("%v->%v: %v", tc.src, tc.dst, err)
 		}

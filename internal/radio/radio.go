@@ -46,23 +46,48 @@ import (
 // connected neighbors.
 var Broadcast = topology.Location{X: -32768, Y: -32768}
 
-// Frame kinds (analogous to TinyOS Active Message types).
-const (
-	KindBeacon     uint8 = 1 // neighbor-discovery beacon
-	KindMigrate    uint8 = 2 // agent migration data (state/code/heap/stack/reaction)
-	KindMigrateCtl uint8 = 3 // migration control (request/grant/ack/commit/abort)
-	KindRemoteTS   uint8 = 4 // remote tuple space request
-	KindRemoteTSR  uint8 = 5 // remote tuple space reply
+// FrameKind identifies what a frame carries (analogous to TinyOS Active
+// Message types).
+type FrameKind uint8
 
-	KindReplicaDigest uint8 = 6 // replication anti-entropy digest
-	KindReplicaDelta  uint8 = 7 // replication anti-entropy delta
+// Frame kinds.
+const (
+	KindBeacon     FrameKind = 1 // neighbor-discovery beacon
+	KindMigrate    FrameKind = 2 // agent migration data (state/code/heap/stack/reaction)
+	KindMigrateCtl FrameKind = 3 // migration control (request/grant/ack/commit/abort)
+	KindRemoteTS   FrameKind = 4 // remote tuple space request
+	KindRemoteTSR  FrameKind = 5 // remote tuple space reply
+
+	KindReplicaDigest FrameKind = 6 // replication anti-entropy digest
+	KindReplicaDelta  FrameKind = 7 // replication anti-entropy delta
 )
+
+func (k FrameKind) String() string {
+	switch k {
+	case KindBeacon:
+		return "beacon"
+	case KindMigrate:
+		return "migrate"
+	case KindMigrateCtl:
+		return "migrate-ctl"
+	case KindRemoteTS:
+		return "remote-ts"
+	case KindRemoteTSR:
+		return "remote-ts-reply"
+	case KindReplicaDigest:
+		return "replica-digest"
+	case KindReplicaDelta:
+		return "replica-delta"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
 
 // Frame is one over-the-air message.
 type Frame struct {
 	Src     topology.Location
 	Dst     topology.Location // Broadcast for beacons
-	Kind    uint8
+	Kind    FrameKind
 	Payload []byte
 }
 
@@ -447,6 +472,35 @@ func (m *Medium) deliver(f Frame, to topology.Location, a *attachment, src *sim.
 	}
 	node := a.r
 	src.Send(a.ctx, delay, func() { node.ReceiveFrame(f) })
+}
+
+// Inject delivers a frame directly to the attachment at f.Dst with no
+// loss sampling and no modelled delay. It is the entry point for frames
+// that arrive from a peer process over a transport bridge: the sending
+// process already ran the full radio model (loss, airtime, jitter) when it
+// delivered the frame to its border attachment, so re-running it here
+// would charge the channel twice for one hop. Broadcast frames are not
+// accepted — the bridge resolves fan-out on the sending side.
+//
+// Like Attach, Inject may only be called while no ordinary event is
+// executing: the bridge pump runs on the host between runs. It returns
+// false when no live receiver is attached at f.Dst (the peer's map is
+// stale or the node died); the frame is counted as dropped.
+func (m *Medium) Inject(f Frame) bool {
+	if f.IsBroadcast() {
+		return false
+	}
+	a, ok := m.att[f.Dst]
+	dst := m.ctxOf(f.Dst)
+	sh := &m.sh[dst.Shard()]
+	if !ok || a.r == nil {
+		sh.stats.NoRoute++
+		return false
+	}
+	sh.stats.Delivered++
+	node := a.r
+	a.ctx.Post(func() { node.ReceiveFrame(f) })
+	return true
 }
 
 // linkState returns the channel state for one directed link, allocating it

@@ -1,0 +1,90 @@
+// Package transport moves enveloped frames (internal/wire.Frame) between
+// processes. It is the first real-wire layer under the simulated radio: a
+// deployment that owns half a field attaches a transport.Bridge to its
+// radio.Medium, and frames addressed to the other half cross a Transport
+// instead of the in-process attachment table.
+//
+// Two implementations ship: Loopback, an in-memory registry used by the
+// conformance suite (deterministic — no goroutines, no clocks, delivery
+// happens synchronously into the peer's inbox and is drained by an
+// explicit pump), and UDP, a real socket transport (reader goroutine,
+// per-peer send queues with drop-oldest backpressure, malformed-frame
+// accounting). Both present the same poll-style interface so the bridge
+// and the conformance driver are transport-agnostic.
+//
+// Everything here runs on wall-clock threads, outside the deterministic
+// simulation kernel. The boundary discipline is: transports never touch
+// the medium; the bridge injects received frames only from the host
+// between runs (Medium.Inject), which is what keeps the in-process
+// executor's determinism suite byte-identical with a bridge attached.
+package transport
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/agilla-go/agilla/internal/wire"
+)
+
+// Addr names a transport endpoint, scheme-prefixed: "udp:host:port" or
+// "loop:name". The scheme travels with the address so peer lists in
+// configuration stay self-describing.
+type Addr string
+
+// PeerStats counts traffic exchanged with one peer (or, for receive-side
+// counters, attributed to the sending peer's address).
+type PeerStats struct {
+	Sent      uint64 // frames accepted for send
+	SentBytes uint64 // encoded bytes accepted for send
+	Dropped   uint64 // frames dropped by send-queue backpressure (oldest first)
+	Recv      uint64 // frames received and decoded
+	RecvBytes uint64 // encoded bytes received
+	Malformed uint64 // datagrams rejected by the envelope decoder
+	SendErrs  uint64 // socket write failures
+}
+
+// Transport is one process's frame endpoint.
+//
+// Listen binds the local endpoint and starts reception; it must be called
+// before Send or Recv. Dial prepares a send path to a peer and is
+// idempotent. Send queues one frame to a dialed peer and never blocks on
+// the network (backpressure drops the oldest queued frame instead). Recv
+// pops one received frame without blocking — the caller polls; this is
+// deliberate, because the simulation side consumes frames from a host
+// pump, not from a goroutine. Close releases the endpoint; Send and Recv
+// on a closed transport fail and report empty, respectively.
+type Transport interface {
+	Listen() error
+	Dial(addr Addr) error
+	Send(addr Addr, f wire.Frame) error
+	Recv() (from Addr, f wire.Frame, ok bool)
+	LocalAddr() Addr
+	Stats() map[Addr]PeerStats
+	Close() error
+}
+
+// inboxCap bounds every transport's receive inbox; beyond it the oldest
+// frame is dropped. Protocol retransmission recovers the loss, exactly as
+// it does for radio loss.
+const inboxCap = 4096
+
+// inFrame is one received frame awaiting the pump.
+type inFrame struct {
+	from Addr
+	f    wire.Frame
+}
+
+// Open constructs a transport from a scheme-prefixed address: "loop:name"
+// for the in-memory loopback, "udp:host:port" for real sockets. The
+// endpoint is not live until Listen.
+func Open(addr Addr) (Transport, error) {
+	s := string(addr)
+	switch {
+	case strings.HasPrefix(s, "loop:"):
+		return NewLoopback(addr), nil
+	case strings.HasPrefix(s, "udp:"):
+		return NewUDP(addr), nil
+	default:
+		return nil, fmt.Errorf("transport: unknown scheme in %q (want loop: or udp:)", s)
+	}
+}

@@ -1,0 +1,308 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"github.com/agilla-go/agilla/internal/wire"
+)
+
+// The UDP transport: one socket per endpoint, a reader goroutine that
+// decodes datagrams into the inbox, and one sender goroutine per dialed
+// peer draining a bounded queue. UDP is the right first wire for this
+// middleware because it has the same failure model the radio already has
+// — loss, reordering, duplication — and every protocol above (hop-by-hop
+// migration acks, remote-op retransmission, anti-entropy gossip) was
+// built to survive exactly that. One datagram carries one enveloped
+// frame; anything the envelope decoder rejects increments the sender's
+// malformed counter and is otherwise ignored.
+
+// udpQueueCap bounds each peer's send queue. When the queue is full the
+// oldest frame is dropped (drop-oldest): for this traffic, new frames
+// carry newer protocol state and retransmission regenerates old ones, so
+// head drop beats tail drop and either beats blocking the simulation.
+const udpQueueCap = 256
+
+// udpReadBuf is sized past any legal envelope (64 KiB payload bound).
+const udpReadBuf = 1 << 16 * 2
+
+// UDP is a socket-backed Transport. Construct with NewUDP (or Open with a
+// "udp:" address).
+type UDP struct {
+	addr Addr // as configured, "udp:host:port"
+
+	mu     sync.Mutex
+	conn   *net.UDPConn
+	done   chan struct{} // closed by Close; stops sender goroutines
+	live   bool
+	inbox  []inFrame
+	lost   uint64
+	stats  map[Addr]*PeerStats
+	peers  map[Addr]*udpPeer
+	byWire map[string]Addr // resolved remote addr -> dialed Addr, for attribution
+	wg     sync.WaitGroup
+}
+
+// udpPeer is one dialed destination: its resolved address and the bounded
+// send queue its sender goroutine drains.
+type udpPeer struct {
+	raddr *net.UDPAddr
+	q     chan []byte
+}
+
+// NewUDP creates an endpoint bound to addr ("udp:host:port") at Listen.
+func NewUDP(addr Addr) *UDP {
+	return &UDP{
+		addr:   addr,
+		stats:  make(map[Addr]*PeerStats),
+		peers:  make(map[Addr]*udpPeer),
+		byWire: make(map[string]Addr),
+	}
+}
+
+// hostPort strips the "udp:" scheme.
+func hostPort(addr Addr) (string, error) {
+	s := string(addr)
+	if !strings.HasPrefix(s, "udp:") {
+		return "", fmt.Errorf("transport: %q is not a udp address", addr)
+	}
+	return s[len("udp:"):], nil
+}
+
+// Listen binds the socket and starts the reader.
+func (u *UDP) Listen() error {
+	hp, err := hostPort(u.addr)
+	if err != nil {
+		return err
+	}
+	laddr, err := net.ResolveUDPAddr("udp", hp)
+	if err != nil {
+		return fmt.Errorf("transport: resolve %q: %v", u.addr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return fmt.Errorf("transport: listen %q: %v", u.addr, err)
+	}
+	// Ask for generous socket buffers (the kernel clamps to its limits;
+	// best effort): frame bursts — a migration's message train, a gossip
+	// round — otherwise overrun the default receive buffer.
+	_ = conn.SetReadBuffer(4 << 20)
+	_ = conn.SetWriteBuffer(4 << 20)
+	u.mu.Lock()
+	u.conn = conn
+	u.done = make(chan struct{})
+	u.live = true
+	u.mu.Unlock()
+	u.wg.Add(1)
+	go u.readLoop(conn)
+	return nil
+}
+
+// readLoop decodes datagrams into the inbox until the socket closes.
+func (u *UDP) readLoop(conn *net.UDPConn) {
+	defer u.wg.Done()
+	buf := make([]byte, udpReadBuf)
+	for {
+		n, raddr, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		from := u.attribute(raddr)
+		f, err := wire.DecodeFrame(buf[:n])
+		u.mu.Lock()
+		if !u.live {
+			u.mu.Unlock()
+			return
+		}
+		st := u.peerStats(from)
+		if err != nil {
+			st.Malformed++
+			u.mu.Unlock()
+			continue
+		}
+		st.Recv++
+		st.RecvBytes += uint64(n)
+		// The decode aliases the read buffer; the inbox outlives it.
+		f.Payload = append([]byte(nil), f.Payload...)
+		if len(u.inbox) >= inboxCap {
+			u.inbox = u.inbox[1:]
+			u.lost++
+		}
+		u.inbox = append(u.inbox, inFrame{from: from, f: f})
+		u.mu.Unlock()
+	}
+}
+
+// attribute maps a datagram's source address back to the dialed Addr when
+// one matches, so send and receive counters share a key.
+func (u *UDP) attribute(raddr *net.UDPAddr) Addr {
+	s := raddr.String()
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if a, ok := u.byWire[s]; ok {
+		return a
+	}
+	return Addr("udp:" + s)
+}
+
+// Dial resolves the peer and starts its sender goroutine. Idempotent.
+func (u *UDP) Dial(addr Addr) error {
+	hp, err := hostPort(addr)
+	if err != nil {
+		return err
+	}
+	raddr, err := net.ResolveUDPAddr("udp", hp)
+	if err != nil {
+		return fmt.Errorf("transport: resolve peer %q: %v", addr, err)
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if !u.live {
+		return fmt.Errorf("transport: %q is not listening", u.addr)
+	}
+	if _, ok := u.peers[addr]; ok {
+		return nil
+	}
+	p := &udpPeer{raddr: raddr, q: make(chan []byte, udpQueueCap)}
+	u.peers[addr] = p
+	u.byWire[raddr.String()] = addr
+	conn := u.conn
+	st := u.peerStats(addr)
+	u.wg.Add(1)
+	go u.sendLoop(conn, p, st, u.done)
+	return nil
+}
+
+// sendLoop drains one peer's queue onto the socket until Close.
+func (u *UDP) sendLoop(conn *net.UDPConn, p *udpPeer, st *PeerStats, done chan struct{}) {
+	defer u.wg.Done()
+	for {
+		select {
+		case <-done:
+			return
+		case b := <-p.q:
+			if _, err := conn.WriteToUDP(b, p.raddr); err != nil {
+				u.mu.Lock()
+				st.SendErrs++
+				closed := !u.live
+				u.mu.Unlock()
+				if closed || errors.Is(err, net.ErrClosed) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Send encodes f and queues it to a dialed peer without blocking: a full
+// queue drops its oldest frame to admit the new one.
+func (u *UDP) Send(addr Addr, f wire.Frame) error {
+	b, err := wire.EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	u.mu.Lock()
+	if !u.live {
+		u.mu.Unlock()
+		return fmt.Errorf("transport: %q is closed", u.addr)
+	}
+	p, ok := u.peers[addr]
+	st := u.peerStats(addr)
+	if !ok {
+		st.SendErrs++
+		u.mu.Unlock()
+		return fmt.Errorf("transport: peer %q not dialed", addr)
+	}
+	st.Sent++
+	st.SentBytes += uint64(len(b))
+	done := u.done
+	u.mu.Unlock()
+	for {
+		select {
+		case <-done:
+			return fmt.Errorf("transport: %q is closed", u.addr)
+		case p.q <- b:
+			return nil
+		default:
+		}
+		select {
+		case <-p.q: // drop-oldest; admit the new frame on the next spin
+			u.mu.Lock()
+			st.Dropped++
+			u.mu.Unlock()
+		default:
+		}
+	}
+}
+
+// Recv pops the oldest received frame, non-blocking.
+func (u *UDP) Recv() (Addr, wire.Frame, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if len(u.inbox) == 0 {
+		return "", wire.Frame{}, false
+	}
+	in := u.inbox[0]
+	u.inbox = u.inbox[1:]
+	return in.from, in.f, true
+}
+
+// LocalAddr returns the bound address ("udp:host:port" with the kernel's
+// chosen port after Listen when the configured port was 0).
+func (u *UDP) LocalAddr() Addr {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.conn != nil {
+		return Addr("udp:" + u.conn.LocalAddr().String())
+	}
+	return u.addr
+}
+
+// Stats snapshots per-peer counters.
+func (u *UDP) Stats() map[Addr]PeerStats {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	out := make(map[Addr]PeerStats, len(u.stats))
+	for a, s := range u.stats {
+		out[a] = *s
+	}
+	return out
+}
+
+// Close shuts the socket and the per-peer senders down and waits for
+// their goroutines.
+func (u *UDP) Close() error {
+	u.mu.Lock()
+	if !u.live {
+		u.mu.Unlock()
+		return nil
+	}
+	u.live = false
+	conn := u.conn
+	done := u.done
+	u.peers = make(map[Addr]*udpPeer)
+	u.inbox = nil
+	u.mu.Unlock()
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
+	if done != nil {
+		close(done)
+	}
+	u.wg.Wait()
+	return err
+}
+
+// peerStats returns the counter cell for addr; callers hold u.mu.
+func (u *UDP) peerStats(addr Addr) *PeerStats {
+	st, ok := u.stats[addr]
+	if !ok {
+		st = &PeerStats{}
+		u.stats[addr] = st
+	}
+	return st
+}

@@ -1,0 +1,207 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/agilla-go/agilla/internal/replica"
+	"github.com/agilla-go/agilla/internal/topology"
+	"github.com/agilla-go/agilla/internal/tuplespace"
+)
+
+// broadcastLoc mirrors radio.Broadcast (this package cannot import radio).
+var broadcastLoc = topology.Location{X: -32768, Y: -32768}
+
+// kindPayloads builds one representative inner payload per radio frame
+// kind, each through the real hand-packed codec — the envelope must carry
+// every one of them unchanged.
+func kindPayloads(t *testing.T) map[uint8][]byte {
+	t.Helper()
+	heap, err := (HeapMsg{AgentID: 9, Seq: 2, Index: 0, Entries: []HeapEntry{
+		{Addr: 3, Value: tuplespace.Int(41)},
+	}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[uint8][]byte{
+		1: Beacon{NumAgents: 3}.Encode(),
+		2: heap,
+		3: (AckMsg{AgentID: 9, Seq: 2, Of: MsgHeap, Index: 0}).Encode(),
+		4: Envelope{
+			Src: topology.Loc(0, 0), Dst: topology.Loc(4, 2), TTL: 16, Kind: 4,
+			Body: RemoteRequest{
+				ReqID: 7, Op: OpRrdp, ReplyTo: topology.Loc(0, 0),
+				Template: tuplespace.Tmpl(tuplespace.Str("fire")),
+			}.Encode(),
+		}.Encode(),
+		5: Envelope{
+			Src: topology.Loc(4, 2), Dst: topology.Loc(0, 0), TTL: 16, Kind: 5,
+			Body: RemoteReply{
+				ReqID: 7, OK: true,
+				Tuple: tuplespace.T(tuplespace.Str("fire"), tuplespace.Int(1)),
+			}.Encode(),
+		}.Encode(),
+		6: ReplicaDigest{Lines: []replica.Summary{
+			{Node: topology.Loc(1, 1), AddMax: 4, RemHash: 0xfeed},
+		}}.Encode(),
+		7: ReplicaDelta{Entries: []replica.Entry{
+			{Origin: replica.Origin{Node: topology.Loc(1, 1), Seq: 4},
+				Tuple: tuplespace.T(tuplespace.Int(8))},
+		}}.Encode(),
+	}
+}
+
+// TestFrameRoundTripEveryKind wraps each kind's real payload in the outer
+// envelope and checks the frame and its inner payload survive.
+func TestFrameRoundTripEveryKind(t *testing.T) {
+	for kind, payload := range kindPayloads(t) {
+		f := Frame{Kind: kind, Src: topology.Loc(2, 1), Dst: topology.Loc(3, 1), Payload: payload}
+		if kind == 1 {
+			f.Dst = broadcastLoc // beacons are broadcast; Broadcast must encode
+		}
+		b, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("kind %d: encode: %v", kind, err)
+		}
+		if len(b) != f.EncodedLen() {
+			t.Fatalf("kind %d: EncodedLen %d, wire %d", kind, f.EncodedLen(), len(b))
+		}
+		out, err := DecodeFrame(b)
+		if err != nil {
+			t.Fatalf("kind %d: decode: %v", kind, err)
+		}
+		if out.Kind != f.Kind || out.Src != f.Src || out.Dst != f.Dst || !bytes.Equal(out.Payload, f.Payload) {
+			t.Fatalf("kind %d: round trip mangled: %+v", kind, out)
+		}
+	}
+}
+
+// TestFrameRoundTripProperty round-trips randomized frames, including
+// empty and maximum-size payloads.
+func TestFrameRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(200)
+		switch i {
+		case 0:
+			n = 0
+		case 1:
+			n = MaxFramePayload
+		}
+		p := make([]byte, n)
+		rng.Read(p)
+		f := Frame{
+			Kind:    uint8(rng.Intn(256)),
+			Src:     topology.Loc(int16(rng.Intn(1<<16)-1<<15), int16(rng.Intn(1<<16)-1<<15)),
+			Dst:     topology.Loc(int16(rng.Intn(1<<16)-1<<15), int16(rng.Intn(1<<16)-1<<15)),
+			Payload: p,
+		}
+		b, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := DecodeFrame(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Kind != f.Kind || out.Src != f.Src || out.Dst != f.Dst || !bytes.Equal(out.Payload, f.Payload) {
+			t.Fatalf("round trip mangled at %d", i)
+		}
+	}
+	// Oversized payloads are rejected at encode time.
+	if _, err := EncodeFrame(Frame{Payload: make([]byte, MaxFramePayload+1)}); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("oversized payload: err = %v", err)
+	}
+}
+
+// TestFrameDecodeRejects drives every truncation and every single-byte
+// corruption of a valid frame through the decoder: all must fail with
+// ErrBadMessage, none may panic.
+func TestFrameDecodeRejects(t *testing.T) {
+	f := Frame{Kind: 4, Src: topology.Loc(1, 2), Dst: topology.Loc(3, 4), Payload: []byte{1, 2, 3, 4, 5}}
+	b, err := EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(b); n++ {
+		if _, err := DecodeFrame(b[:n]); !errors.Is(err, ErrBadMessage) {
+			t.Fatalf("truncation at %d: err = %v", n, err)
+		}
+	}
+	for i := range b {
+		c := append([]byte(nil), b...)
+		c[i] ^= 0x40
+		if _, err := DecodeFrame(c); !errors.Is(err, ErrBadMessage) {
+			t.Fatalf("corrupt byte %d accepted", i)
+		}
+	}
+	if _, err := DecodeFrame(append(append([]byte(nil), b...), 0)); !errors.Is(err, ErrBadMessage) {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// FuzzFrameDecode proves the envelope decoder never panics and that
+// anything it accepts re-encodes to the same bytes. Accepted frames also
+// have their inner payload pushed through the matching kind codec, which
+// must reject garbage with an error rather than a panic.
+func FuzzFrameDecode(f *testing.F) {
+	t := &testing.T{}
+	for _, p := range kindPayloads(t) {
+		b, err := EncodeFrame(Frame{Kind: 2, Src: topology.Loc(0, 0), Dst: topology.Loc(1, 0), Payload: p})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{FrameMagic, FrameVersion})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := DecodeFrame(b)
+		if err != nil {
+			if !errors.Is(err, ErrBadMessage) {
+				t.Fatalf("rejection not wrapping ErrBadMessage: %v", err)
+			}
+			return
+		}
+		re, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, b) {
+			t.Fatalf("re-encode mismatch:\n  in  %x\n  out %x", b, re)
+		}
+		// Inner codecs must never panic on an arbitrary accepted payload.
+		switch fr.Kind {
+		case 1:
+			_, _ = DecodeBeacon(fr.Payload)
+		case 2, 3:
+			if typ, err := Type(fr.Payload); err == nil {
+				switch typ {
+				case MsgState:
+					_, _ = DecodeState(fr.Payload)
+				case MsgCode:
+					_, _ = DecodeCode(fr.Payload)
+				case MsgHeap:
+					_, _ = DecodeHeap(fr.Payload)
+				case MsgStack:
+					_, _ = DecodeStack(fr.Payload)
+				case MsgReaction:
+					_, _ = DecodeReaction(fr.Payload)
+				case MsgAck:
+					_, _ = DecodeAck(fr.Payload)
+				}
+			}
+		case 4, 5:
+			if env, err := DecodeEnvelope(fr.Payload); err == nil {
+				_, _ = DecodeRemoteRequest(env.Body)
+				_, _ = DecodeRemoteReply(env.Body)
+			}
+		case 6:
+			_, _ = DecodeReplicaDigest(fr.Payload)
+		case 7:
+			_, _ = DecodeReplicaDelta(fr.Payload)
+		}
+	})
+}

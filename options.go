@@ -6,6 +6,7 @@ import (
 
 	"github.com/agilla-go/agilla/internal/core"
 	"github.com/agilla-go/agilla/internal/radio"
+	"github.com/agilla-go/agilla/internal/transport"
 	"github.com/agilla-go/agilla/program"
 )
 
@@ -42,6 +43,7 @@ type settings struct {
 	workers     int
 	replication *core.Replication
 	admission   *float64
+	bridge      *BridgeConfig
 }
 
 // Option configures New.
@@ -156,7 +158,7 @@ func New(opts ...Option) (*Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("agilla: %w", err)
 	}
-	d, err := core.NewDeployment(core.DeploymentSpec{
+	spec := core.DeploymentSpec{
 		Layout:      layout,
 		Seed:        s.seed,
 		Radio:       s.radio,
@@ -165,11 +167,39 @@ func New(opts ...Option) (*Network, error) {
 		Energy:      s.energy,
 		Workers:     s.workers,
 		Replication: s.replication,
-	})
+	}
+	var peers map[Location]transport.Addr
+	if s.bridge != nil {
+		pruned, p, baseLoc, err := planBridge(layout, s.bridge)
+		if err != nil {
+			return nil, err
+		}
+		spec.Layout, peers = pruned, p
+		bl := baseLoc
+		spec.BaseLoc = &bl
+	}
+	d, err := core.NewDeployment(spec)
 	if err != nil {
 		return nil, fmt.Errorf("agilla: %w", err)
 	}
 	nw := &Network{d: d}
+	if s.bridge != nil {
+		tr, err := transport.Open(transport.Addr(s.bridge.Listen))
+		if err != nil {
+			return nil, fmt.Errorf("agilla: %w", err)
+		}
+		local := append(d.Locations(), *spec.BaseLoc)
+		br, err := transport.NewBridge(tr, d.Medium, local, peers)
+		if err != nil {
+			return nil, fmt.Errorf("agilla: %w", err)
+		}
+		nw.bridge = br
+		nw.quantum = s.bridge.Quantum
+		if nw.quantum <= 0 {
+			nw.quantum = bridgeQuantumDefault
+		}
+		nw.idle = defaultBridgeIdle
+	}
 	if s.admission != nil {
 		model := core.DefaultEnergyModel()
 		if s.energy != nil {

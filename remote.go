@@ -46,7 +46,7 @@ func (rc *RemoteClient) opDeadline() time.Duration {
 // do ships one remote operation from the base station and runs the
 // simulation until it resolves.
 func (rc *RemoteClient) do(op wire.RemoteOp, dest Location, t Tuple, p Template) (wire.RemoteReply, error) {
-	if rc.nw.d.Node(dest) == nil {
+	if rc.nw.d.Node(dest) == nil && !rc.nw.bridgeOwns(dest) {
 		return wire.RemoteReply{}, fmt.Errorf("%w at %v", ErrNoSuchNode, dest)
 	}
 	var reply *wire.RemoteReply
@@ -55,9 +55,11 @@ func (rc *RemoteClient) do(op wire.RemoteOp, dest Location, t Tuple, p Template)
 		reply, opErr = &r, err
 	})
 	// The remote manager resolves (reply or timeout failure) within the
-	// budget; the slack covers reply-delivery event latency.
+	// budget; the slack covers reply-delivery event latency. On a bridged
+	// network the run is pumped every quantum so the request, its
+	// cross-border hops, and the reply all cross the wire.
 	deadline := rc.nw.d.Sim.Now() + rc.opDeadline()
-	if _, err := rc.nw.d.Sim.RunUntil(func() bool { return reply != nil }, deadline); err != nil {
+	if _, err := rc.nw.runUntilAt(func() bool { return reply != nil }, deadline); err != nil {
 		return wire.RemoteReply{}, err
 	}
 	if reply == nil || errors.Is(opErr, core.ErrRemoteTimeout) {
@@ -168,7 +170,7 @@ func (rc *RemoteClient) queryLocs(locs []Location, p Template) ([]Match, error) 
 		})
 	}
 	deadline := rc.nw.d.Sim.Now() + rc.opDeadline()
-	if _, err := rc.nw.d.Sim.RunUntil(func() bool { return remaining == 0 }, deadline); err != nil {
+	if _, err := rc.nw.runUntilAt(func() bool { return remaining == 0 }, deadline); err != nil {
 		return nil, err
 	}
 	matches := make([]Match, 0, len(byLoc))
