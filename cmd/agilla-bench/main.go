@@ -41,6 +41,13 @@
 //	          the tuple-survival and remote-lookup gains
 //	          under the identical schedule and seed.
 //	          Also opt-in, for the same reason as scale.
+//	vm        execution-backend comparison: the same
+//	          compute workload under the seed per-event
+//	          interpreter, the burst engine, and the
+//	          compiled-closure backend; asserts identical
+//	          instruction streams and hashes, reports the
+//	          wall-clock speedup; -json writes
+//	          BENCH_vm.json rows. Opt-in like scale.
 //	wire      transport throughput for the distributed
 //	          runtime: a fixed migration+gossip frame mix
 //	          through the in-memory loopback and localhost
@@ -62,6 +69,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -69,7 +78,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: fig9,fig10,fig11,fig12,fig5,memory,speed,casestudy,ensemble,mate,ablate,scale,churn,wire,all")
+	exp := flag.String("exp", "all", "comma-separated experiments: fig9,fig10,fig11,fig12,fig5,memory,speed,casestudy,ensemble,mate,ablate,scale,churn,vm,wire,all")
 	trials := flag.Int("trials", 100, "trials per data point")
 	seed := flag.Int64("seed", 7, "simulation seed")
 	runs := flag.Int("runs", 8, "seeds for the ensemble experiment")
@@ -77,7 +86,37 @@ func main() {
 	workers := flag.Int("workers", 4, "max kernel parallelism the scale/churn experiments sweep up to")
 	jsonPath := flag.String("json", "", "write scale/churn/wire rows as JSON: a file when one such experiment is selected, a directory (BENCH_scale.json, BENCH_churn.json, BENCH_wire.json) when several are")
 	replication := flag.Bool("replication", false, "add gossip-replicated rows to the churn sweep, beside the baseline rows")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "agilla-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "agilla-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "agilla-bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle: profile live objects, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "agilla-bench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -145,7 +184,7 @@ func main() {
 			return "", nil
 		}
 		jsonable := 0
-		for _, n := range []string{"scale", "churn", "wire"} {
+		for _, n := range []string{"scale", "churn", "vm", "wire"} {
 			if want[n] {
 				jsonable++
 			}
@@ -189,6 +228,9 @@ func main() {
 	}
 	if want["churn"] {
 		runJSON("BENCH_churn.json", func() (jsonResult, error) { return experiments.Churn(cfg) })
+	}
+	if want["vm"] {
+		runJSON("BENCH_vm.json", func() (jsonResult, error) { return experiments.VM(cfg) })
 	}
 	if want["wire"] {
 		runJSON("BENCH_wire.json", func() (jsonResult, error) { return experiments.Wire(cfg) })

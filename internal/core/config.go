@@ -57,6 +57,25 @@ const (
 	DefaultBootDelay = 500 * time.Millisecond
 )
 
+// ExecMode selects the engine's execution strategy. All modes implement
+// the same observable semantics — identical trace, stats, and energy
+// behavior — they differ only in how many scheduler events and how much
+// dispatch work each instruction costs.
+type ExecMode uint8
+
+// Execution modes.
+const (
+	// ExecAuto (the default): burst batching plus the compiled-closure
+	// backend for programs that verify. Fastest.
+	ExecAuto ExecMode = iota
+	// ExecBurst: burst batching with the plain interpreter (no compiled
+	// closures). Isolates the batching layer for benchmarks and tests.
+	ExecBurst
+	// ExecStep: the seed engine — one interpreted instruction per
+	// scheduled sim event. The oracle the other modes are diffed against.
+	ExecStep
+)
+
 // Config tunes one node. The zero value selects the paper's defaults.
 type Config struct {
 	// MaxAgents bounds concurrently hosted agents.
@@ -71,6 +90,8 @@ type Config struct {
 	RegistryMax   int
 	// Slice is the round-robin instruction quantum.
 	Slice int
+	// Exec selects the execution strategy (zero value: ExecAuto).
+	Exec ExecMode
 
 	// AckTimeout, MaxRetries, ReceiverStall parameterize the hop-by-hop
 	// migration protocol.

@@ -228,7 +228,14 @@ func NewDeployment(spec DeploymentSpec) (*Deployment, error) {
 		})
 	} else {
 		workers = 1
-		s = sim.New(spec.Seed)
+		seq := sim.New(spec.Seed)
+		if window > 0 {
+			// The same frame-delay contract lets the sequential kernel's
+			// local run-ahead lane absorb instruction bursts past other
+			// motes' lock-step schedules (see Sim.SetLookahead).
+			seq.SetLookahead(window)
+		}
+		s = seq
 	}
 
 	medium := radio.NewMedium(s, topo, params)

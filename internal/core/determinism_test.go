@@ -151,9 +151,13 @@ const reactorSrc = `
 // workload that exercises migration, remote ops, and reactions for 25
 // virtual seconds, and returns the trace hash, trace length, and final
 // counters.
-func runDeterminismWorkload(t *testing.T, layout topology.Layout, seed int64, workers int) (uint64, int, NodeStats, Stats2) {
+func runDeterminismWorkload(t *testing.T, layout topology.Layout, seed int64, workers int, opts ...func(*DeploymentSpec)) (uint64, int, NodeStats, Stats2) {
 	t.Helper()
-	d, err := NewDeployment(DeploymentSpec{Layout: layout, Seed: seed, Workers: workers})
+	spec := DeploymentSpec{Layout: layout, Seed: seed, Workers: workers}
+	for _, opt := range opts {
+		opt(&spec)
+	}
+	d, err := NewDeployment(spec)
 	if err != nil {
 		t.Fatalf("deployment: %v", err)
 	}
@@ -244,16 +248,20 @@ func TestParallelExecutorMatchesSequentialTrace(t *testing.T) {
 // so relocating a column-1 mote to column 6 crosses every strip
 // boundary), battery drain with energy deaths, plus the usual migration
 // and remote traffic — and returns the trace hash and counters.
-func runWorldDeterminismWorkload(t *testing.T, seed int64, workers int) (uint64, int, NodeStats, Stats2, WorldStats) {
+func runWorldDeterminismWorkload(t *testing.T, seed int64, workers int, opts ...func(*DeploymentSpec)) (uint64, int, NodeStats, Stats2, WorldStats) {
 	t.Helper()
 	energy := DefaultEnergyModel()
 	energy.CapacityJ = 0.02 // some motes die of exhaustion inside the run
-	d, err := NewDeployment(DeploymentSpec{
+	spec := DeploymentSpec{
 		Layout:  topology.GridLayout(5, 5),
 		Seed:    seed,
 		Workers: workers,
 		Energy:  &energy,
-	})
+	}
+	for _, opt := range opts {
+		opt(&spec)
+	}
+	d, err := NewDeployment(spec)
 	if err != nil {
 		t.Fatalf("deployment: %v", err)
 	}
@@ -337,17 +345,21 @@ func TestWorldDynamicsDeterministic(t *testing.T) {
 // churn: replication on every mote, application tuples outed across the
 // grid, a kill + revive so the recovery re-sync runs, remote probes served
 // from replicas, and the energy model charging every gossip frame.
-func runReplicationDeterminismWorkload(t *testing.T, seed int64, workers int) (uint64, int, NodeStats, Stats2) {
+func runReplicationDeterminismWorkload(t *testing.T, seed int64, workers int, opts ...func(*DeploymentSpec)) (uint64, int, NodeStats, Stats2) {
 	t.Helper()
 	energy := DefaultEnergyModel()
 	energy.CapacityJ = 2.0 // generous: gossip airtime must not exhaust motes mid-run
-	d, err := NewDeployment(DeploymentSpec{
+	spec := DeploymentSpec{
 		Layout:      topology.GridLayout(4, 4),
 		Seed:        seed,
 		Workers:     workers,
 		Energy:      &energy,
 		Replication: &Replication{K: 2, Period: 500 * time.Millisecond},
-	})
+	}
+	for _, opt := range opts {
+		opt(&spec)
+	}
+	d, err := NewDeployment(spec)
 	if err != nil {
 		t.Fatalf("deployment: %v", err)
 	}

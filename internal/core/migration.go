@@ -704,6 +704,17 @@ func (n *Node) admitRecord(a *vm.Agent) (*record, error) {
 		return nil, err
 	}
 	rec := &record{agent: a, state: AgentMigrating, arrivedAt: n.sim.Now()}
+	rec.wakeFn = func() {
+		if rec.state != AgentSleeping {
+			return
+		}
+		rec.wake = nil
+		rec.state = AgentReady
+		n.enqueue(rec)
+	}
+	if n.cfg.Exec == ExecAuto {
+		rec.prog = progCache.Get(a.Code)
+	}
 	n.agents[a.ID] = rec
 	n.stats.AgentsHosted++
 	n.replicaMuted(func() {

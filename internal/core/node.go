@@ -66,18 +66,41 @@ type firing struct {
 type record struct {
 	agent *vm.Agent
 	state AgentState
+	// prog is the compiled form of the agent's code, nil when the program
+	// does not verify or the node runs without the compiled backend.
+	prog *vm.Compiled
 
 	// blockTmpl and blockRemove describe an unsatisfied blocking in/rd.
 	blockTmpl   tuplespace.Template
 	blockRemove bool
 
-	pending []firing // queued reaction firings
+	// pending[pendHead:] are the queued reaction firings. Consuming
+	// advances pendHead instead of reslicing so the backing array is
+	// reused (and delivered firings are zeroed, not retained).
+	pending  []firing
+	pendHead int
 
 	sliceUsed int
 	queued    bool
 	wake      *sim.Event // sleep timer
+	wakeFn    func()     // the sleep-expiry continuation, bound once at admit
 
 	arrivedAt time.Duration
+}
+
+// pendingCount returns the number of undelivered reaction firings.
+func (rec *record) pendingCount() int { return len(rec.pending) - rec.pendHead }
+
+// popFiring removes and returns the oldest pending firing.
+func (rec *record) popFiring() firing {
+	f := rec.pending[rec.pendHead]
+	rec.pending[rec.pendHead] = firing{}
+	rec.pendHead++
+	if rec.pendHead == len(rec.pending) {
+		rec.pending = rec.pending[:0]
+		rec.pendHead = 0
+	}
+	return f
 }
 
 // Node is one simulated mote running the Agilla middleware.
@@ -97,10 +120,12 @@ type Node struct {
 	instr    *InstrMem
 	board    *sensor.Board
 
-	agents   map[uint16]*record
-	runQueue []*record
-	busy     bool   // an engine step is scheduled
-	stepFn   func() // engineStep as a value: one instruction per event makes a fresh method closure per step measurable
+	agents  map[uint16]*record
+	runq    runRing
+	busy    bool       // an engine step is scheduled
+	burst   bool       // batch straight-line instruction runs (Exec != ExecStep)
+	stepFn  func()     // engineStep as a value: one instruction per event makes a fresh method closure per step measurable
+	stepOut vm.Outcome // engineStep's scratch outcome; steps never nest, so one per node suffices
 
 	nodeIndex  uint8 // high byte of locally assigned agent IDs
 	agentCount uint8 // low byte counter
@@ -152,6 +177,7 @@ func NewNode(s *sim.Ctx, medium *radio.Medium, loc topology.Location, nodeIndex 
 		trace:     trace,
 	}
 	n.stepFn = n.engineStep
+	n.burst = cfg.Exec != ExecStep
 	n.net = network.NewStack(s, medium, loc, cfg.Network)
 	n.net.NumAgents = func() int { return len(n.agents) }
 	n.net.DeliverDirect = n.handleDirect

@@ -131,7 +131,7 @@ func (n *Node) Crash(cause DownCause) bool {
 		}
 	}
 	clear(n.agents)
-	n.runQueue = n.runQueue[:0]
+	n.runq.Clear()
 	// Volatile protocol sessions vanish with the RAM; peers time out and
 	// run their failure paths.
 	//lint:maprange independent timer cancellations; no cross-entry effects

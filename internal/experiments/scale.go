@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,19 +27,26 @@ import (
 // ScaleRow is one (grid, workers) measurement. The deterministic fields
 // (Scenario, Nodes, Events, Instr, Frames, Hash, VirtualSecs) are
 // identical for every worker count at the same seed; the wall-clock
-// fields are the benchmark.
+// fields are the benchmark. Dispatched counts events actually popped
+// from scheduler heaps: Events-Dispatched is the scheduler traffic the
+// burst engine absorbed, so Dispatched (and the InstrPerEvent ratio)
+// legitimately varies with workers and must stay out of the cross-worker
+// determinism diff.
 type ScaleRow struct {
-	Scenario     string  `json:"scenario"`
-	Nodes        int     `json:"nodes"`
-	Workers      int     `json:"workers"`
-	Events       uint64  `json:"events"`
-	Instr        uint64  `json:"instr"`
-	Frames       uint64  `json:"frames"`
-	Hash         string  `json:"hash"`
-	VirtualSecs  float64 `json:"virtual_secs"`
-	WallSecs     float64 `json:"wall_secs"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	Speedup      float64 `json:"speedup"`
+	Scenario      string  `json:"scenario"`
+	Nodes         int     `json:"nodes"`
+	Workers       int     `json:"workers"`
+	Events        uint64  `json:"events"`
+	Dispatched    uint64  `json:"dispatched"`
+	Instr         uint64  `json:"instr"`
+	Frames        uint64  `json:"frames"`
+	Hash          string  `json:"hash"`
+	VirtualSecs   float64 `json:"virtual_secs"`
+	WallSecs      float64 `json:"wall_secs"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	InstrPerSec   float64 `json:"instr_per_sec"`
+	InstrPerEvent float64 `json:"instr_per_event"`
+	Speedup       float64 `json:"speedup"`
 }
 
 // ScaleResult is the full sweep.
@@ -54,12 +62,12 @@ func (r *ScaleResult) JSON() ([]byte, error) {
 func (r *ScaleResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Kernel scaling: events/sec by grid size and worker count\n")
-	fmt.Fprintf(&b, "%-12s %7s %8s %12s %12s %10s %8s  %s\n",
-		"scenario", "nodes", "workers", "events", "events/sec", "wall(s)", "speedup", "hash")
+	fmt.Fprintf(&b, "%-14s %7s %8s %12s %12s %12s %11s %10s %8s  %s\n",
+		"scenario", "nodes", "workers", "events", "events/sec", "instr/sec", "instr/event", "wall(s)", "speedup", "hash")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-12s %7d %8d %12d %12.0f %10.2f %7.2fx  %s\n",
+		fmt.Fprintf(&b, "%-14s %7d %8d %12d %12.0f %12.0f %11.2f %10.2f %7.2fx  %s\n",
 			row.Scenario, row.Nodes, row.Workers, row.Events,
-			row.EventsPerSec, row.WallSecs, row.Speedup, row.Hash)
+			row.EventsPerSec, row.InstrPerSec, row.InstrPerEvent, row.WallSecs, row.Speedup, row.Hash)
 	}
 	b.WriteString("(deterministic columns — events, hash — must not vary with workers)")
 	return b.String()
@@ -87,7 +95,10 @@ func Scale(cfg Config) (*ScaleResult, error) {
 	for _, g := range sizes {
 		var baseline float64
 		for _, w := range workers {
-			row, err := scaleRun(g, w, virtual, cfg.Seed)
+			// Settle the heap between rows so a big earlier grid's
+			// garbage does not tax this row's GC — each measurement
+			// stands alone.
+			row, err := scaleBest(g, w, virtual, cfg.Seed, cfg.Trials)
 			if err != nil {
 				return nil, fmt.Errorf("scale %dx%d workers=%d: %w", g, g, w, err)
 			}
@@ -100,7 +111,52 @@ func Scale(cfg Config) (*ScaleResult, error) {
 			res.Rows = append(res.Rows, row)
 		}
 	}
+	if !cfg.Quick {
+		// The 1000x1000 headline: a million motes, feasible only because
+		// the burst engine executes straight-line runs without per-
+		// instruction heap events. One run, at the full worker count,
+		// over a shortened virtual window.
+		row, err := scaleBest(1000, cfg.Workers, time.Second, cfg.Seed, cfg.Trials)
+		if err != nil {
+			return nil, fmt.Errorf("scale 1000x1000 workers=%d: %w", cfg.Workers, err)
+		}
+		row.Speedup = 1 // a single run is its own baseline
+		res.Rows = append(res.Rows, row)
+	}
 	return res, nil
+}
+
+// scaleBest measures one configuration -trials times and keeps the run
+// with the best wall clock: each trial builds a fresh deployment, so the
+// minimum strips GC and OS-scheduler noise from the throughput columns
+// without touching the deterministic ones — which must agree across
+// trials (a free same-executor reproducibility check).
+func scaleBest(g, workers int, virtual time.Duration, seed int64, trials int) (ScaleRow, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	var best ScaleRow
+	for t := 0; t < trials; t++ {
+		// Settle the heap between runs so one row's garbage does not
+		// tax the next measurement.
+		runtime.GC()
+		row, err := scaleRun(g, workers, virtual, seed)
+		if err != nil {
+			return ScaleRow{}, err
+		}
+		if t == 0 {
+			best = row
+			continue
+		}
+		if row.Hash != best.Hash || row.Events != best.Events {
+			return ScaleRow{}, fmt.Errorf("trial %d diverged: events %d hash %s vs events %d hash %s",
+				t, row.Events, row.Hash, best.Events, best.Hash)
+		}
+		if row.WallSecs < best.WallSecs {
+			best = row
+		}
+	}
+	return best, nil
 }
 
 // scaleRun executes one grid at one worker count and measures throughput.
@@ -134,6 +190,7 @@ func scaleRun(g, workers int, virtual time.Duration, seed int64) (ScaleRow, erro
 		Nodes:       g * g,
 		Workers:     d.Workers(),
 		Events:      d.Sim.Executed(),
+		Dispatched:  d.Sim.Dispatched(),
 		Instr:       stats.InstrExecuted,
 		Frames:      med.Sent,
 		Hash:        fmt.Sprintf("%016x", scaleHash(d)),
@@ -142,6 +199,10 @@ func scaleRun(g, workers int, virtual time.Duration, seed int64) (ScaleRow, erro
 	}
 	if wall > 0 {
 		row.EventsPerSec = float64(row.Events) / wall
+		row.InstrPerSec = float64(row.Instr) / wall
+	}
+	if row.Dispatched > 0 {
+		row.InstrPerEvent = float64(row.Instr) / float64(row.Dispatched)
 	}
 	return row, nil
 }

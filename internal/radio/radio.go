@@ -383,10 +383,26 @@ func (m *Medium) neighbors(src topology.Location, sh *mediumShard) []topology.Lo
 		return nb
 	}
 	nb := make([]topology.Location, 0, 8)
-	//lint:maprange collected neighbors are sorted (Y, X) below
-	for loc := range m.att {
+	collect := func(loc topology.Location) {
 		if loc != src && m.topo.Connected(src, loc) {
-			nb = append(nb, loc)
+			if _, ok := m.att[loc]; ok {
+				nb = append(nb, loc)
+			}
+		}
+	}
+	// Topologies that can enumerate their own candidate neighbors keep
+	// this O(degree); otherwise scan every ever-attached location —
+	// correct for any topology but quadratic across a large deployment's
+	// first broadcasts.
+	enumerated := false
+	if en, ok := m.topo.(topology.NeighborEnumerator); ok {
+		enumerated = en.EnumerateNeighbors(src, collect)
+	}
+	if !enumerated {
+		nb = nb[:0]
+		//lint:maprange collected neighbors are sorted (Y, X) below
+		for loc := range m.att {
+			collect(loc)
 		}
 	}
 	sort.Slice(nb, func(i, j int) bool {
@@ -395,6 +411,15 @@ func (m *Medium) neighbors(src topology.Location, sh *mediumShard) []topology.Lo
 		}
 		return nb[i].X < nb[j].X
 	})
+	// Enumerators may emit a candidate twice (e.g. a gateway's base link
+	// and its geometric link); collapse duplicates after the sort.
+	for i := 1; i < len(nb); {
+		if nb[i] == nb[i-1] {
+			nb = append(nb[:i], nb[i+1:]...)
+		} else {
+			i++
+		}
+	}
 	sh.nbrs[src] = nb
 	return nb
 }

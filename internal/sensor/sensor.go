@@ -75,19 +75,31 @@ func (m *MapField) Sample(loc topology.Location, s tuplespace.SensorType, _ time
 
 // Board is the set of sensors one mote carries, bound to a field.
 type Board struct {
-	loc     topology.Location
-	field   Field
-	sensors map[tuplespace.SensorType]bool
+	loc   topology.Location
+	field Field
+	// sensors is a presence bitmask indexed by SensorType — sense runs on
+	// every monitor-loop iteration of every mote, so the check must not
+	// pay a map lookup.
+	sensors uint64
 	// samples counts sense operations, for the energy/overhead accounting.
 	samples uint64
+}
+
+// sensorBit returns the presence-mask bit for s, 0 for types outside the
+// representable range (which therefore read as absent).
+func sensorBit(s tuplespace.SensorType) uint64 {
+	if s < 0 || s > 63 {
+		return 0
+	}
+	return 1 << uint(s)
 }
 
 // NewBoard creates a board at loc with the given sensors. A nil field reads
 // zero everywhere.
 func NewBoard(loc topology.Location, field Field, sensors ...tuplespace.SensorType) *Board {
-	b := &Board{loc: loc, field: field, sensors: make(map[tuplespace.SensorType]bool, len(sensors))}
+	b := &Board{loc: loc, field: field}
 	for _, s := range sensors {
-		b.sensors[s] = true
+		b.sensors |= sensorBit(s)
 	}
 	return b
 }
@@ -103,7 +115,7 @@ func DefaultSensors() []tuplespace.SensorType {
 }
 
 // Has reports whether the board carries sensor s.
-func (b *Board) Has(s tuplespace.SensorType) bool { return b.sensors[s] }
+func (b *Board) Has(s tuplespace.SensorType) bool { return b.sensors&sensorBit(s) != 0 }
 
 // MoveTo rebinds the board to a new location (the mote moved): future
 // samples read the field at the new position.
@@ -113,7 +125,7 @@ func (b *Board) MoveTo(loc topology.Location) { b.loc = loc }
 func (b *Board) Types() []tuplespace.SensorType {
 	var out []tuplespace.SensorType
 	for s := tuplespace.SensorTemperature; s <= tuplespace.SensorSmoke; s++ {
-		if b.sensors[s] {
+		if b.Has(s) {
 			out = append(out, s)
 		}
 	}
@@ -126,7 +138,7 @@ func (b *Board) Samples() uint64 { return b.samples }
 // Sense samples sensor s at virtual time now; ok is false if the board does
 // not carry that sensor.
 func (b *Board) Sense(s tuplespace.SensorType, now time.Duration) (int16, bool) {
-	if !b.sensors[s] {
+	if b.sensors&sensorBit(s) == 0 {
 		return 0, false
 	}
 	b.samples++

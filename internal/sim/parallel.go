@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -116,6 +115,19 @@ func (p *Parallel) Executed() uint64 {
 	return n
 }
 
+// Dispatched returns the number of events popped from shard heaps (world
+// events included) — Executed minus locally absorbed steps. It varies
+// with the shard count: each shard's run-ahead horizon is bounded by its
+// own queue and window, so more shards batch differently (the schedule
+// itself stays identical).
+func (p *Parallel) Dispatched() uint64 {
+	n := p.worldExec
+	for _, sh := range p.shards {
+		n += sh.executed - sh.local
+	}
+	return n
+}
+
 // Pending returns the number of live queued events across all shards,
 // mailboxes, and the world lane.
 func (p *Parallel) Pending() int {
@@ -139,9 +151,9 @@ func (p *Parallel) ScheduleWorldAt(at time.Duration, fn func()) *Event {
 	if at < p.now {
 		at = p.now
 	}
-	e := &Event{at: at, src: WorldKey, seq: p.worldSeq, fn: fn, index: -1}
+	e := &Event{at: at, src: WorldKey, seq: p.worldSeq, fn: fn}
 	p.worldSeq++
-	heap.Push(&p.worldQ, e)
+	p.worldQ.push(e)
 	return e
 }
 
@@ -150,7 +162,7 @@ func (p *Parallel) ScheduleWorldAt(at time.Duration, fn func()) *Event {
 func (p *Parallel) peekWorld() *Event {
 	for len(p.worldQ) > 0 {
 		if p.worldQ[0].cancel {
-			heap.Pop(&p.worldQ)
+			p.worldQ.pop()
 			continue
 		}
 		return p.worldQ[0]
@@ -175,7 +187,7 @@ func (p *Parallel) runWorld(at time.Duration) error {
 		if w == nil || w.at != at {
 			return nil
 		}
-		heap.Pop(&p.worldQ)
+		p.worldQ.pop()
 		p.worldLast = at
 		p.worldExec++
 		w.fn()

@@ -28,7 +28,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -146,8 +145,16 @@ type Executor interface {
 	ScheduleWorldAt(at time.Duration, fn func()) *Event
 	// Stop makes the current Run call return ErrStopped.
 	Stop()
-	// Executed returns the number of events that have fired so far.
+	// Executed returns the number of events that have fired so far,
+	// locally absorbed steps included (see Ctx.ScheduleLocal) — the
+	// logical event count, identical across executors and to a run
+	// without local absorption.
 	Executed() uint64
+	// Dispatched returns the number of events actually popped from the
+	// heap: Executed minus the steps absorbed into an earlier dispatch.
+	// The gap is the scheduler work instruction batching saved; unlike
+	// Executed it legitimately varies with shard count.
+	Dispatched() uint64
 	// Pending returns the number of live queued events.
 	Pending() int
 }
@@ -160,8 +167,9 @@ type Event struct {
 	at     time.Duration
 	src    ContextKey
 	seq    uint64
+	dst    *Ctx // the context the event acts on (nil: world/harness scope)
+	pooled bool // recycled through the shard free list after dispatch
 	fn     func()
-	index  int // heap index, -1 when not queued
 	cancel bool
 }
 
@@ -179,40 +187,68 @@ func (e *Event) Cancelled() bool { return e != nil && e.cancel }
 // At returns the virtual time the event is scheduled to fire.
 func (e *Event) At() time.Duration { return e.at }
 
+// eventQueue is a hand-rolled 4-ary min-heap ordered by (at, src, seq).
+// Heap maintenance dominates the scheduler on large deployments, and a
+// 4-way tree halves the sift depth of container/heap's binary layout
+// while keeping children of a node on one cache line.
 type eventQueue []*Event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	if q[i].src != q[j].src {
-		return q[i].src < q[j].src
+	if a.src != b.src {
+		return a.src < b.src
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+func (q *eventQueue) push(e *Event) {
+	d := append(*q, e)
+	*q = d
+	i := len(d) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(d[i], d[p]) {
+			break
+		}
+		d[i], d[p] = d[p], d[i]
+		i = p
+	}
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+func (q *eventQueue) pop() *Event {
+	d := *q
+	top := d[0]
+	n := len(d) - 1
+	d[0] = d[n]
+	d[n] = nil
+	d = d[:n]
+	*q = d
+	// Sift the promoted tail element down to its place.
+	i := 0
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventLess(d[j], d[m]) {
+				m = j
+			}
+		}
+		if !eventLess(d[m], d[i]) {
+			break
+		}
+		d[i], d[m] = d[m], d[i]
+		i = m
+	}
+	return top
 }
 
 // shard is one execution lane: a queue, a clock, and a mailbox for events
@@ -225,9 +261,189 @@ type shard struct {
 	lastAt   time.Duration // timestamp of the last executed event
 	executed uint64
 	queue    eventQueue
+	free     []*Event // recycled pooled events (see get/put)
+
+	// Local run-ahead state (see Ctx.ScheduleLocal). limit/limitClosed
+	// is the horizon the current run admits — events at or before it are
+	// known to be safe to execute, because the caller is driving this
+	// shard that far with no interleaving from outside. dispatching is
+	// true while the shard is inside dispatch; local counts the events
+	// absorbed into an earlier dispatch instead of popped from the heap.
+	limit       time.Duration
+	limitClosed bool
+	dispatching bool
+	local       uint64
+	localQ      localQueue
+
+	// Due-time tracking for the relaxed absorption rule (see localOK).
+	// Every queued heap event registers the time it acts on its target:
+	// node-context events in the target Ctx's own due list, root/harness
+	// events in gdue, world events in wdue. A context may then run ahead
+	// of other contexts' events — their influence needs at least the
+	// lookahead window to reach it — but never past its own next due
+	// event, a root event, or a world event's instant.
+	gdue []time.Duration // root/harness events: may touch any context
+	wdue []time.Duration // world events (sequential executor only)
 
 	mu    sync.Mutex
 	inbox []*Event // cross-shard arrivals, merged into queue at barriers
+}
+
+// insertDue adds t to a sorted due list; removeDue drops one entry equal
+// to t. Both are amortized allocation-free: the slices keep their
+// backing capacity and per-context event counts are small.
+func insertDue(s *[]time.Duration, t time.Duration) {
+	d := *s
+	lo, hi := 0, len(d)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	d = append(d, 0)
+	copy(d[lo+1:], d[lo:])
+	d[lo] = t
+	*s = d
+}
+
+func removeDue(s *[]time.Duration, t time.Duration) {
+	d := *s
+	lo, hi := 0, len(d)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(d) && d[lo] == t {
+		copy(d[lo:], d[lo+1:])
+		*s = d[:len(d)-1]
+	}
+}
+
+// track registers a queued event's action time with its target's due
+// list; untrack removes it when the event leaves the queue (dispatched
+// or discarded after cancellation). Called only from the goroutine that
+// owns the shard's queue.
+// get pops a recycled Event or allocates one. Only events whose pointer
+// never escapes the kernel (Send deliveries, flushed local steps) are
+// pooled: Schedule and ScheduleWorldAt hand their *Event to the caller
+// as a cancellation handle, so those must stay garbage-collected — a
+// recycled handle could cancel an unrelated future event.
+func (sh *shard) get() *Event {
+	if n := len(sh.free) - 1; n >= 0 {
+		e := sh.free[n]
+		sh.free[n] = nil
+		sh.free = sh.free[:n]
+		return e
+	}
+	return &Event{}
+}
+
+// put recycles a pooled event after it left the queue for good. Cross-
+// shard sends are allocated on the sender's free list and released to
+// the receiver's; each list is only ever touched by its owning worker.
+func (sh *shard) put(e *Event) {
+	if !e.pooled {
+		return
+	}
+	*e = Event{} // drop the closure and dst references for the GC
+	sh.free = append(sh.free, e)
+}
+
+func (sh *shard) track(e *Event) {
+	switch {
+	case e.src == WorldKey:
+		insertDue(&sh.wdue, e.at)
+	case e.dst == nil || e.dst.key == RootKey:
+		insertDue(&sh.gdue, e.at)
+	default:
+		insertDue(&e.dst.due, e.at)
+	}
+}
+
+func (sh *shard) untrack(e *Event) {
+	switch {
+	case e.src == WorldKey:
+		removeDue(&sh.wdue, e.at)
+	case e.dst == nil || e.dst.key == RootKey:
+		removeDue(&sh.gdue, e.at)
+	default:
+		removeDue(&e.dst.due, e.at)
+	}
+}
+
+// localEvent is a deferred step in the local run-ahead lane: the same
+// (time, context key, sequence) identity a heap Event would carry, so
+// absorbing it locally or flushing it to the heap yields the exact same
+// schedule.
+type localEvent struct {
+	at  time.Duration
+	src ContextKey
+	seq uint64
+	c   *Ctx // the context the step belongs to (always its scheduler)
+	fn  func()
+}
+
+// localQueue is a slice-backed min-heap of localEvents ordered exactly
+// like eventQueue: (time, context key, sequence). It is kept separate
+// from container/heap so pushes and pops of value entries stay
+// allocation-free.
+type localQueue []localEvent
+
+func (q localQueue) less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	if q[i].src != q[j].src {
+		return q[i].src < q[j].src
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q *localQueue) push(e localEvent) {
+	*q = append(*q, e)
+	s := *q
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (q *localQueue) pop() localEvent {
+	s := *q
+	head := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = localEvent{}
+	s = s[:n]
+	*q = s
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < n && s.less(l, m) {
+			m = l
+		}
+		if r < n && s.less(r, m) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return head
 }
 
 // drain merges the inbox into the local queue. Called only while no worker
@@ -238,7 +454,8 @@ func (sh *shard) drain() {
 	sh.inbox = nil
 	sh.mu.Unlock()
 	for _, e := range in {
-		heap.Push(&sh.queue, e)
+		sh.queue.push(e)
+		sh.track(e)
 	}
 }
 
@@ -247,12 +464,27 @@ func (sh *shard) drain() {
 func (sh *shard) peek() *Event {
 	for len(sh.queue) > 0 {
 		if sh.queue[0].cancel {
-			heap.Pop(&sh.queue)
+			e := sh.queue.pop()
+			sh.untrack(e)
+			sh.put(e)
 			continue
 		}
 		return sh.queue[0]
 	}
 	return nil
+}
+
+// pop removes and returns the next live event, or nil. The event is
+// untracked from its target's due list before it runs, so the target's
+// own run-ahead is not blocked by the event currently dispatching.
+func (sh *shard) pop() *Event {
+	e := sh.peek()
+	if e == nil {
+		return nil
+	}
+	sh.queue.pop()
+	sh.untrack(e)
+	return e
 }
 
 // due reports whether the shard has an event to run before end (inclusive
@@ -268,6 +500,100 @@ func (sh *shard) due(end time.Duration, closed bool) bool {
 	return e.at < end
 }
 
+// localOK reports whether a local step of context c at time at may run
+// inside the current dispatch without observable reordering. The shard
+// must be mid-dispatch and at must fall inside the admitted horizon.
+// Ordering is then protected per scope:
+//
+//   - c's own lane is exact: the step must come strictly before c's next
+//     queued heap event (a frame delivery, its sleep timer, ...).
+//   - Root/harness events may touch any context directly, and they sort
+//     before node events at the same instant; never run past one.
+//   - World events mutate shared state but sort after every node event
+//     at their instant; steps up to and including that instant are safe.
+//   - Other contexts influence c only through sends delayed by at least
+//     the lookahead window (the same contract the parallel executor's
+//     barrier windows rest on), so c may run up to — not including —
+//     head.at+win. With no lookahead declared (win 0) this degrades to
+//     the strict head rule.
+//
+// Flushed local entries keep their (time, key, sequence) identity, so
+// absorbing a step or replaying it through the heap yields the same
+// per-context schedule either way.
+func (sh *shard) localOK(c *Ctx, at time.Duration) bool {
+	if !sh.dispatching {
+		return false
+	}
+	if at > sh.limit || (!sh.limitClosed && at == sh.limit) {
+		return false
+	}
+	if len(c.due) > 0 && at >= c.due[0] {
+		return false
+	}
+	if len(sh.gdue) > 0 && at >= sh.gdue[0] {
+		return false
+	}
+	if len(sh.wdue) > 0 && at > sh.wdue[0] {
+		return false
+	}
+	e := sh.peek()
+	return e == nil || at < e.at+sh.win
+}
+
+// runLocal advances the shard clock to a locally absorbed step and
+// counts it exactly like a dispatched event, so Executed is identical
+// whether a step was absorbed or popped from the heap.
+func (sh *shard) runLocal(at time.Duration) {
+	sh.now = at
+	sh.lastAt = at
+	sh.executed++
+	sh.local++
+}
+
+// maxLocalSteps bounds how many deferred steps one dispatch absorbs, so
+// a self-perpetuating chain against an otherwise idle queue still
+// returns to the driver loop where stop flags and budgets are checked.
+const maxLocalSteps = 4096
+
+// drainLocal runs deferred local steps in (time, key, sequence) order
+// while the horizon admits them, then flushes the remainder into the
+// heap with their identities preserved. Steps may defer further steps;
+// the loop keeps going until the horizon closes or the lane empties.
+func (sh *shard) drainLocal() {
+	for n := 0; len(sh.localQ) > 0 && n < maxLocalSteps; n++ {
+		le := sh.localQ[0]
+		if !sh.localOK(le.c, le.at) {
+			break
+		}
+		sh.localQ.pop()
+		sh.runLocal(le.at)
+		le.fn()
+	}
+	for len(sh.localQ) > 0 {
+		le := sh.localQ.pop()
+		e := sh.get()
+		*e = Event{at: le.at, src: le.src, seq: le.seq, dst: le.c, fn: le.fn, pooled: true}
+		sh.queue.push(e)
+		sh.track(e)
+	}
+}
+
+// dispatch runs one popped heap event and then absorbs the local steps
+// it (or they, transitively) deferred. The local lane is always empty
+// between dispatches.
+func (sh *shard) dispatch(e *Event) {
+	sh.dispatching = true
+	sh.now = e.at
+	sh.lastAt = e.at
+	sh.executed++
+	e.fn()
+	if len(sh.localQ) > 0 {
+		sh.drainLocal()
+	}
+	sh.dispatching = false
+	sh.put(e)
+}
+
 // runTo executes events scheduled before end — at exactly end too when
 // closed — advancing the shard clock event by event and leaving it at the
 // last executed event. At most budget events run per call (0: unlimited);
@@ -276,6 +602,7 @@ func (sh *shard) due(end time.Duration, closed bool) bool {
 // self-perpetuating schedules that would otherwise never reach a window
 // boundary.
 func (sh *shard) runTo(end time.Duration, closed bool, budget uint64) bool {
+	sh.limit, sh.limitClosed = end, closed
 	var n uint64
 	for {
 		e := sh.peek()
@@ -285,12 +612,10 @@ func (sh *shard) runTo(end time.Duration, closed bool, budget uint64) bool {
 		if budget > 0 && n >= budget {
 			return false
 		}
-		heap.Pop(&sh.queue)
-		sh.now = e.at
-		sh.lastAt = e.at
-		sh.executed++
+		sh.queue.pop()
+		sh.untrack(e)
 		n++
-		e.fn()
+		sh.dispatch(e)
 	}
 }
 
@@ -317,6 +642,7 @@ type Ctx struct {
 	shard *shard
 	seq   uint64
 	rng   *rand.Rand
+	due   []time.Duration // sorted times of this context's queued heap events
 }
 
 // Key returns the context's key.
@@ -340,9 +666,10 @@ func (c *Ctx) Schedule(d time.Duration, fn func()) *Event {
 	if d < 0 {
 		d = 0
 	}
-	e := &Event{at: c.shard.now + d, src: c.key, seq: c.seq, fn: fn, index: -1}
+	e := &Event{at: c.shard.now + d, src: c.key, seq: c.seq, dst: c, fn: fn}
 	c.seq++
-	heap.Push(&c.shard.queue, e)
+	c.shard.queue.push(e)
+	c.shard.track(e)
 	return e
 }
 
@@ -350,6 +677,48 @@ func (c *Ctx) Schedule(d time.Duration, fn func()) *Event {
 // context already queued for this instant. It models posting a TinyOS
 // task.
 func (c *Ctx) Post(fn func()) *Event { return c.Schedule(0, fn) }
+
+// ScheduleLocal is Schedule for an entity's own step chain: the event
+// carries the identical (time, key, sequence) identity, but instead of
+// going through the heap it may be absorbed into the current dispatch —
+// run back to back with the triggering event — whenever its time falls
+// inside the run's admitted horizon and strictly before the next queued
+// heap event. Otherwise it is flushed to the heap unchanged, so the
+// observable schedule is byte-identical either way; only the number of
+// heap round trips (Dispatched) changes. Called outside a dispatch it
+// degrades to Schedule. Local events cannot be cancelled: use it only
+// for chains that check their own validity when they fire (the engine's
+// step chain does).
+func (c *Ctx) ScheduleLocal(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	sh := c.shard
+	if !sh.dispatching {
+		c.Schedule(d, fn)
+		return
+	}
+	sh.localQ.push(localEvent{at: sh.now + d, src: c.key, seq: c.seq, c: c, fn: fn})
+	c.seq++
+}
+
+// LocalOK reports whether a hypothetical event of this context at time
+// at could run immediately without reordering: inside the dispatch
+// horizon, before the next heap event, and before every deferred local
+// step. Engines use it to run provably uninterruptible straight-line
+// work in place without even materializing the intermediate steps.
+func (c *Ctx) LocalOK(at time.Duration) bool {
+	sh := c.shard
+	if len(sh.localQ) > 0 && at >= sh.localQ[0].at {
+		return false
+	}
+	return sh.localOK(c, at)
+}
+
+// RunLocal advances the clock to at and accounts one locally absorbed
+// step, exactly as if an event had fired there. Call only when LocalOK
+// just returned true for at.
+func (c *Ctx) RunLocal(at time.Duration) { c.shard.runLocal(at) }
 
 // Send schedules fn to run after delay d on the receiver context's shard,
 // ordered by this (sending) context's identity. It is the one cross-shard
@@ -361,10 +730,12 @@ func (c *Ctx) Send(to *Ctx, d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	e := &Event{at: c.shard.now + d, src: c.key, seq: c.seq, fn: fn, index: -1}
+	e := c.shard.get()
+	*e = Event{at: c.shard.now + d, src: c.key, seq: c.seq, dst: to, fn: fn, pooled: true}
 	c.seq++
 	if to.shard == c.shard {
-		heap.Push(&c.shard.queue, e)
+		c.shard.queue.push(e)
+		c.shard.track(e)
 		return
 	}
 	if d < c.shard.win {
@@ -442,8 +813,13 @@ func (s *Sim) Now() time.Duration { return s.sh.now }
 // should use the entity context's Rand instead.
 func (s *Sim) Rand() *rand.Rand { return s.root.rng }
 
-// Executed returns the number of events that have fired so far.
+// Executed returns the number of events that have fired so far, locally
+// absorbed steps included.
 func (s *Sim) Executed() uint64 { return s.sh.executed }
+
+// Dispatched returns the number of events popped from the heap —
+// Executed minus the steps absorbed into an earlier dispatch.
+func (s *Sim) Dispatched() uint64 { return s.sh.executed - s.sh.local }
 
 // Schedule arranges for fn to run after delay d on the root context.
 func (s *Sim) Schedule(d time.Duration, fn func()) *Event { return s.root.Schedule(d, fn) }
@@ -459,35 +835,58 @@ func (s *Sim) ScheduleWorldAt(at time.Duration, fn func()) *Event {
 	if at < s.sh.now {
 		at = s.sh.now
 	}
-	e := &Event{at: at, src: WorldKey, seq: s.worldSeq, fn: fn, index: -1}
+	e := &Event{at: at, src: WorldKey, seq: s.worldSeq, fn: fn}
 	s.worldSeq++
-	heap.Push(&s.sh.queue, e)
+	s.sh.queue.push(e)
+	s.sh.track(e)
 	return e
+}
+
+// SetLookahead declares the minimum cross-context influence delay: no
+// event of one context schedules onto, or otherwise affects, another
+// context in less than d of virtual time (for a radio deployment, the
+// minimum frame delay — exactly the window NewParallel takes). Declaring
+// it lets the local run-ahead lane absorb a context's step chains past
+// other contexts' queued events inside that horizon, which is what turns
+// instruction bursts into single events on multi-node deployments where
+// lock-step schedules leave no strictly-earlier gap. Zero (the default)
+// disables the relaxation. The caller owns the contract's truth; root
+// and world events are exempt from it and never run ahead of.
+func (s *Sim) SetLookahead(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.sh.win = d
 }
 
 // Stop makes the currently running Run call return after the current event.
 func (s *Sim) Stop() { s.stopped = true }
 
+// maxHorizon is the run horizon for runs bounded only by queue
+// exhaustion: absorb as far ahead as the queue itself allows.
+const maxHorizon = time.Duration(1<<63 - 1)
+
 // Step fires the next pending event, advancing the clock to its timestamp.
-// It returns false when the queue is empty.
+// It returns false when the queue is empty. Single-stepping admits only
+// same-instant local absorption, so its granularity stays close to one
+// event per call.
 func (s *Sim) Step() bool {
-	e := s.sh.peek()
+	e := s.sh.pop()
 	if e == nil {
 		return false
 	}
-	heap.Pop(&s.sh.queue)
-	s.sh.now = e.at
-	s.sh.lastAt = e.at
-	s.sh.executed++
-	e.fn()
+	s.sh.limit, s.sh.limitClosed = e.at, true
+	s.sh.dispatch(e)
 	return true
 }
 
 // Run executes events until the queue is empty or the virtual clock would
 // pass the until mark. Events at exactly until still run. It returns
-// ErrStopped if Stop was called.
+// ErrStopped if Stop was called. The whole span up to until is admitted
+// as the local run-ahead horizon.
 func (s *Sim) Run(until time.Duration) error {
 	s.stopped = false
+	s.sh.limit, s.sh.limitClosed = until, true
 	for {
 		if s.stopped {
 			return ErrStopped
@@ -500,7 +899,9 @@ func (s *Sim) Run(until time.Duration) error {
 			s.sh.now = until
 			return nil
 		}
-		s.Step()
+		s.sh.queue.pop()
+		s.sh.untrack(e)
+		s.sh.dispatch(e)
 	}
 }
 
@@ -508,8 +909,14 @@ func (s *Sim) Run(until time.Duration) error {
 // runaway schedules (self-perpetuating beacons); 0 means no limit.
 func (s *Sim) RunUntilIdle(maxEvents uint64) error {
 	s.stopped = false
+	s.sh.limit, s.sh.limitClosed = maxHorizon, true
 	start := s.sh.executed
-	for s.Step() {
+	for {
+		e := s.sh.pop()
+		if e == nil {
+			return nil
+		}
+		s.sh.dispatch(e)
 		if s.stopped {
 			return ErrStopped
 		}
@@ -517,7 +924,6 @@ func (s *Sim) RunUntilIdle(maxEvents uint64) error {
 			return fmt.Errorf("sim: exceeded %d events without going idle", maxEvents)
 		}
 	}
-	return nil
 }
 
 // RunUntil executes events until pred returns true (checked after every

@@ -287,6 +287,16 @@ func (a *Adjacency) Link(u, v Location) {
 // Connected implements Topology.
 func (a *Adjacency) Connected(from, to Location) bool { return a.links[from][to] }
 
+// EnumerateNeighbors implements NeighborEnumerator: exactly the
+// explicit link partners of src.
+func (a *Adjacency) EnumerateNeighbors(src Location, visit func(Location)) bool {
+	//lint:maprange candidates are filtered and sorted by the caller
+	for p := range a.links[src] {
+		visit(p)
+	}
+	return true
+}
+
 // Rekey implements Movable: the node keeps its edges to the same
 // partners under its new location.
 func (a *Adjacency) Rekey(from, to Location) {
