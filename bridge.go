@@ -6,7 +6,10 @@ package agilla
 // a peer serves, and the middleware runs across them — migration,
 // remote tuple space operations, and replication gossip cross the wire
 // through the frame envelope (internal/wire) over a pluggable transport
-// (internal/transport: in-memory Loopback or real UDP sockets).
+// (internal/transport: in-memory Loopback, UDP datagrams, or a TCP
+// stream). The wire transports coalesce each peer's outbound frames into
+// wire.Batch containers, sealed at every pump quantum boundary, so
+// envelope and syscall costs amortize across border traffic.
 //
 // The split is by ownership, not by protocol: each process prunes the
 // shared layout to its own motes and attaches transparent border ports at
@@ -29,8 +32,9 @@ import (
 // nodes may address — its motes and, if the peer launches agents or
 // remote operations of its own, its base station location.
 type BridgePeer struct {
-	// Addr is the peer's transport address: "udp:host:port" for real
-	// sockets, "loop:name" for the in-memory loopback transport.
+	// Addr is the peer's transport address: "udp:host:port" for
+	// datagram sockets, "tcp:host:port" for a lossless stream link,
+	// "loop:name" for the in-memory loopback transport.
 	Addr string
 	// Locations are the layout coordinates the peer owns.
 	Locations []Location

@@ -272,7 +272,25 @@ func TestBridgeConformanceUDP(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real sockets; skipped in -short")
 	}
-	a, b := newBridgedPair(t, "udp:127.0.0.1:39701", "udp:127.0.0.1:39702",
+	playSocketConformance(t, "udp:127.0.0.1:39701", "udp:127.0.0.1:39702")
+}
+
+// TestBridgeConformanceTCP runs the same split scenario over the
+// localhost TCP stream transport: same outcome-level assertions, plus
+// the stream's losslessness means nothing here leans on retransmission.
+func TestBridgeConformanceTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets; skipped in -short")
+	}
+	playSocketConformance(t, "tcp:127.0.0.1:39703", "tcp:127.0.0.1:39704")
+}
+
+// playSocketConformance runs the split scenario over a real-socket
+// transport pair and asserts outcomes, two-way border traffic, and that
+// the wire path actually batched.
+func playSocketConformance(t *testing.T, addrA, addrB string) {
+	t.Helper()
+	a, b := newBridgedPair(t, addrA, addrB,
 		func() { time.Sleep(50 * time.Microsecond) })
 	got := playConformance(t, a, func(loc Location) *Network { return ownerOf(a, b, loc) })
 
@@ -280,7 +298,7 @@ func TestBridgeConformanceUDP(t *testing.T) {
 		t.Error("courier left no stamp at its destination")
 	}
 	if got.rrdpFar == "<none>" || got.rinpFar == "<none>" {
-		t.Errorf("far-mote remote ops failed over UDP: rrdp=%s rinp=%s", got.rrdpFar, got.rinpFar)
+		t.Errorf("far-mote remote ops failed over the wire: rrdp=%s rinp=%s", got.rrdpFar, got.rinpFar)
 	}
 	if got.rrdpNear == "<none>" {
 		t.Errorf("near-mote remote op failed: %s", got.rrdpNear)
@@ -289,6 +307,14 @@ func TestBridgeConformanceUDP(t *testing.T) {
 		st := nw.Bridge().Stats()
 		if st.Relayed == 0 || st.Injected == 0 {
 			t.Errorf("half %s border stats %+v: want traffic both ways", name, st)
+		}
+		var batches, sent uint64
+		for _, ps := range nw.Bridge().TransportStats() {
+			batches += ps.Batches
+			sent += ps.Sent
+		}
+		if sent > 0 && batches == 0 {
+			t.Errorf("half %s sent %d frames in 0 batches: coalescer bypassed", name, sent)
 		}
 	}
 }

@@ -50,11 +50,16 @@
 //	          BENCH_vm.json rows. Opt-in like scale.
 //	wire      transport throughput for the distributed
 //	          runtime: a fixed migration+gossip frame mix
-//	          through the in-memory loopback and localhost
-//	          UDP transports; -json writes BENCH_wire.json
-//	          rows (transport, frames, bytes, received,
-//	          wall_secs, frames_per_sec, bytes_per_sec).
-//	          Opt-in like scale and churn.
+//	          through the in-memory loopback, localhost
+//	          UDP, and localhost TCP transports, with the
+//	          wire transports coalescing frames into
+//	          batches; -json writes BENCH_wire.json rows
+//	          (transport, frames, bytes, received, batches,
+//	          frames_per_batch, wall_secs, frames_per_sec,
+//	          bytes_per_sec). Opt-in like scale and churn.
+//	          tools/benchdiff compares two such snapshots
+//	          with a tolerance band for the wall-clock
+//	          columns.
 //
 // With -json PATH and a single JSON-capable experiment selected, PATH is
 // the output file. With both scale and churn selected, PATH is treated

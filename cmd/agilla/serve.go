@@ -4,7 +4,10 @@ package main
 // several processes (the real-wire distributed runtime). Every process is
 // given the SAME topology and seed; -peer flags carve out the locations
 // other processes own, and the transport bridge relays border frames over
-// UDP (or the in-memory loopback, for single-process experiments).
+// UDP or TCP (or the in-memory loopback, for single-process
+// experiments). Outbound border frames are coalesced into batches on the
+// wire; each status line reports the batching payoff and any frames lost
+// to send-queue backpressure.
 //
 // A two-terminal split of the 6x4 grid down the middle:
 //
@@ -99,11 +102,40 @@ func parseSpan(s string) (lo, hi int, err error) {
 	return lo, hi, nil
 }
 
+// wireSummary renders the transport-level counters across all peers for
+// a status line: throughput, coalescing payoff, and — most importantly —
+// frames lost to send-queue backpressure (drop-oldest), which the border
+// counters alone cannot show.
+func wireSummary(peers map[string]agilla.TransportPeerStats) string {
+	var sum agilla.TransportPeerStats
+	for _, st := range peers {
+		sum.Sent += st.Sent
+		sum.SentBytes += st.SentBytes
+		sum.Batches += st.Batches
+		sum.Dropped += st.Dropped
+		sum.Recv += st.Recv
+		sum.Malformed += st.Malformed
+		sum.SendErrs += st.SendErrs
+	}
+	s := fmt.Sprintf("sent %d in %d batches (%.1f frames/batch), recv %d",
+		sum.Sent, sum.Batches, sum.FramesPerBatch(), sum.Recv)
+	if sum.Dropped > 0 {
+		s += fmt.Sprintf(", DROPPED %d (send-queue overflow)", sum.Dropped)
+	}
+	if sum.Malformed > 0 {
+		s += fmt.Sprintf(", malformed %d", sum.Malformed)
+	}
+	if sum.SendErrs > 0 {
+		s += fmt.Sprintf(", send errors %d", sum.SendErrs)
+	}
+	return s
+}
+
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("agilla serve", flag.ExitOnError)
 	var peers peerFlag
 	var (
-		listen  = fs.String("listen", "udp:127.0.0.1:7001", "this process's transport address (udp:host:port or loop:name)")
+		listen  = fs.String("listen", "udp:127.0.0.1:7001", "this process's transport address (udp:host:port, tcp:host:port, or loop:name)")
 		topo    = fs.String("topo", "grid", "topology: grid, line, ring, disk (identical in every process)")
 		width   = fs.Int("width", 5, "grid width")
 		height  = fs.Int("height", 5, "grid height")
@@ -210,7 +242,8 @@ func runServe(args []string) error {
 			return err
 		}
 		elapsed += step
-		fmt.Printf("t=%-8v agents=%-3d border: %v\n", nw.Now(), nw.TotalAgents(), br.Stats())
+		fmt.Printf("t=%-8v agents=%-3d border: %v; wire: %s\n",
+			nw.Now(), nw.TotalAgents(), br.Stats(), wireSummary(br.TransportStats()))
 	}
 
 	fmt.Printf("\n=== local state at t=%v ===\n", nw.Now())

@@ -26,15 +26,19 @@ import (
 
 // WireRow is one transport's measurement. Frames and Bytes count the
 // offered load and are deterministic; Received may fall short on UDP
-// (drop-oldest backpressure is part of the design under test).
+// (drop-oldest backpressure is part of the design under test). Batches
+// counts wire writes at the sender, so FramesPerBatch is the coalescing
+// payoff: frames carried per datagram or stream record.
 type WireRow struct {
-	Transport    string  `json:"transport"`
-	Frames       int     `json:"frames"`
-	Bytes        int64   `json:"bytes"`
-	Received     int     `json:"received"`
-	WallSecs     float64 `json:"wall_secs"`
-	FramesPerSec float64 `json:"frames_per_sec"`
-	BytesPerSec  float64 `json:"bytes_per_sec"`
+	Transport      string  `json:"transport"`
+	Frames         int     `json:"frames"`
+	Bytes          int64   `json:"bytes"`
+	Received       int     `json:"received"`
+	Batches        int64   `json:"batches"`
+	FramesPerBatch float64 `json:"frames_per_batch"`
+	WallSecs       float64 `json:"wall_secs"`
+	FramesPerSec   float64 `json:"frames_per_sec"`
+	BytesPerSec    float64 `json:"bytes_per_sec"`
 }
 
 // WireResult is the transport sweep.
@@ -50,19 +54,20 @@ func (r *WireResult) JSON() ([]byte, error) {
 func (r *WireResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Wire transport throughput: fixed migration+gossip frame mix\n")
-	fmt.Fprintf(&b, "%-10s %9s %11s %9s %9s %12s %9s\n",
-		"transport", "frames", "bytes", "received", "wall(s)", "frames/sec", "MB/sec")
+	fmt.Fprintf(&b, "%-10s %9s %11s %9s %9s %9s %9s %12s %9s\n",
+		"transport", "frames", "bytes", "received", "batches", "f/batch", "wall(s)", "frames/sec", "MB/sec")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-10s %9d %11d %9d %9.3f %12.0f %9.2f\n",
+		fmt.Fprintf(&b, "%-10s %9d %11d %9d %9d %9.1f %9.3f %12.0f %9.2f\n",
 			row.Transport, row.Frames, row.Bytes, row.Received,
+			row.Batches, row.FramesPerBatch,
 			row.WallSecs, row.FramesPerSec, row.BytesPerSec/1e6)
 	}
 	b.WriteString("(deterministic columns — frames, bytes — must not vary across runs)")
 	return b.String()
 }
 
-// Wire measures frame throughput through the Loopback and localhost-UDP
-// transports.
+// Wire measures frame throughput through the Loopback, localhost-UDP,
+// and localhost-TCP transports.
 func Wire(cfg Config) (*WireResult, error) {
 	cfg = cfg.withDefaults()
 	n := 50000
@@ -81,13 +86,24 @@ func Wire(cfg Config) (*WireResult, error) {
 	}
 	res.Rows = append(res.Rows, row)
 
-	// UDP on localhost: real sockets, reader goroutine, bounded queues;
-	// batch under the per-peer send queue cap.
+	// UDP on localhost: real sockets, reader goroutine, coalesced
+	// batches on bounded queues. The flow-control window is large enough
+	// to keep whole batches in flight (inboxCap is 4096 frames) without
+	// letting an unpaced sender overrun the receive path.
 	row, err = wirePump("udp",
 		transport.NewUDP("udp:127.0.0.1:0"), transport.NewUDP("udp:127.0.0.1:0"),
-		work, 128)
+		work, 2048)
 	if err != nil {
 		return nil, fmt.Errorf("wire udp: %w", err)
+	}
+	res.Rows = append(res.Rows, row)
+
+	// TCP on localhost: the lossless stream path, same coalescing.
+	row, err = wirePump("tcp",
+		transport.NewTCP("tcp:127.0.0.1:0"), transport.NewTCP("tcp:127.0.0.1:0"),
+		work, 2048)
+	if err != nil {
+		return nil, fmt.Errorf("wire tcp: %w", err)
 	}
 	res.Rows = append(res.Rows, row)
 	return res, nil
@@ -175,9 +191,14 @@ func wirePump(name string, src, dst transport.Transport, frames []wire.Frame, ba
 		if (i+1)%batch != 0 {
 			continue
 		}
-		// Flow control: keep the in-flight window under one batch so the
-		// measurement is sustainable delivered throughput, not the rate at
-		// which an unpaced sender can overrun receive buffers.
+		// Seal the window's tail batch — mirroring the bridge, which
+		// flushes at every pump quantum — so the drain below waits on the
+		// wire, not on the coalescer's linger timer.
+		src.Flush()
+		// Flow control: keep the in-flight window under one window's
+		// worth of frames so the measurement is sustainable delivered
+		// throughput, not the rate at which an unpaced sender can overrun
+		// receive buffers.
 		for idle := 0; received < i+1-batch && idle < 20; {
 			n := wireDrain(dst)
 			received += n
@@ -191,6 +212,7 @@ func wirePump(name string, src, dst transport.Transport, frames []wire.Frame, ba
 	}
 	// Drain the tail; on UDP give in-flight datagrams a grace window and
 	// stop once the link has gone quiet (drops are legal, stalls are not).
+	src.Flush()
 	for idle := 0; received < len(frames) && idle < 100; {
 		n := wireDrain(dst)
 		received += n
@@ -203,12 +225,15 @@ func wirePump(name string, src, dst transport.Transport, frames []wire.Frame, ba
 	}
 	wall := time.Since(start).Seconds()
 
+	st := src.Stats()[peer]
 	row := WireRow{
-		Transport: name,
-		Frames:    len(frames),
-		Bytes:     bytes,
-		Received:  received,
-		WallSecs:  wall,
+		Transport:      name,
+		Frames:         len(frames),
+		Bytes:          bytes,
+		Received:       received,
+		Batches:        int64(st.Batches),
+		FramesPerBatch: st.FramesPerBatch(),
+		WallSecs:       wall,
 	}
 	if wall > 0 {
 		row.FramesPerSec = float64(len(frames)) / wall

@@ -175,11 +175,15 @@ func NewBridge(tr Transport, medium *radio.Medium, local []topology.Location, pe
 	return b, nil
 }
 
-// Pump drains the transport inbox into the medium. It must run on the
-// host while the executor is paused (between runs): Medium.Inject
-// schedules delivery events, which is only legal then. Returns how many
-// frames were injected.
+// Pump flushes pending outbound batches and drains the transport inbox
+// into the medium. It must run on the host while the executor is paused
+// (between runs): Medium.Inject schedules delivery events, which is
+// only legal then. Returns how many frames were injected.
 func (b *Bridge) Pump() int {
+	// Seal whatever the last quantum queued before waiting on inbound
+	// traffic: the pump boundary is the batching epoch, so bridged
+	// virtual time never stalls on the coalescer's linger timer.
+	b.tr.Flush()
 	n := 0
 	for {
 		_, wf, ok := b.tr.Recv()

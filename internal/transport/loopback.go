@@ -71,11 +71,15 @@ func (l *Loopback) Dial(addr Addr) error {
 	return nil
 }
 
-// Send encodes f and delivers it into the destination endpoint's inbox.
-// An unregistered destination is an error (the peer process has not
-// started or already closed); a full inbox drops the oldest frame.
+// Send encodes f — as a batch of one, through the same container codec
+// the wire transports coalesce with — and delivers it into the
+// destination endpoint's inbox. An unregistered destination is an error
+// (the peer process has not started or already closed); a full inbox
+// drops the oldest frame. There is no coalescing: loopback delivery is
+// synchronous by design, so every frame is its own single-frame batch
+// and determinism is preserved.
 func (l *Loopback) Send(addr Addr, f wire.Frame) error {
-	b, err := wire.EncodeFrame(f)
+	b, err := wire.EncodeBatch([]wire.Frame{f})
 	if err != nil {
 		return err
 	}
@@ -90,6 +94,7 @@ func (l *Loopback) Send(addr Addr, f wire.Frame) error {
 	st := l.peerStats(addr)
 	st.Sent++
 	st.SentBytes += uint64(len(b))
+	st.Batches++
 	if dst == nil {
 		st.SendErrs++
 		l.mu.Unlock()
@@ -97,17 +102,21 @@ func (l *Loopback) Send(addr Addr, f wire.Frame) error {
 	}
 	l.mu.Unlock()
 	// Decode through the real codec so loopback exercises the same wire
-	// path as UDP; the frame was just encoded, so this cannot fail.
-	out, err := wire.DecodeFrame(b)
-	if err != nil {
+	// path as UDP and TCP; the batch was just encoded, so this cannot
+	// fail.
+	out, err := wire.DecodeBatch(b)
+	if err != nil || len(out) != 1 {
 		return fmt.Errorf("transport: loopback re-decode: %v", err)
 	}
-	dst.push(l.addr, out)
+	dst.push(l.addr, out[0], len(b))
 	return nil
 }
 
+// Flush is a no-op: loopback delivery is synchronous, nothing lingers.
+func (l *Loopback) Flush() {}
+
 // push appends one frame to the inbox, dropping the oldest on overflow.
-func (l *Loopback) push(from Addr, f wire.Frame) {
+func (l *Loopback) push(from Addr, f wire.Frame, nbytes int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if !l.live {
@@ -120,7 +129,7 @@ func (l *Loopback) push(from Addr, f wire.Frame) {
 	l.inbox = append(l.inbox, inFrame{from: from, f: f})
 	st := l.peerStats(from)
 	st.Recv++
-	st.RecvBytes += uint64(f.EncodedLen())
+	st.RecvBytes += uint64(nbytes)
 }
 
 // Recv pops the oldest received frame, non-blocking.

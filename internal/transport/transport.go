@@ -4,13 +4,21 @@
 // radio.Medium, and frames addressed to the other half cross a Transport
 // instead of the in-process attachment table.
 //
-// Two implementations ship: Loopback, an in-memory registry used by the
-// conformance suite (deterministic — no goroutines, no clocks, delivery
-// happens synchronously into the peer's inbox and is drained by an
-// explicit pump), and UDP, a real socket transport (reader goroutine,
-// per-peer send queues with drop-oldest backpressure, malformed-frame
-// accounting). Both present the same poll-style interface so the bridge
+// Three implementations ship: Loopback, an in-memory registry used by
+// the conformance suite (deterministic — no goroutines, no clocks,
+// delivery happens synchronously into the peer's inbox and is drained
+// by an explicit pump); UDP, a real datagram transport (reader
+// goroutine, per-peer send queues with drop-oldest backpressure,
+// malformed-frame accounting); and TCP, a stream transport for
+// lossless inter-shard links (length-prefixed batch records, per-peer
+// connections with reconnect-on-error, Nagle disabled in favor of our
+// own linger). All present the same poll-style interface so the bridge
 // and the conformance driver are transport-agnostic.
+//
+// The wire path is batched: UDP and TCP coalesce each peer's outbound
+// frames into wire.Batch containers (see coalesce.go for the
+// size/count/linger thresholds) so envelope and syscall costs amortize
+// across frames instead of being paid per frame.
 //
 // Everything here runs on wall-clock threads, outside the deterministic
 // simulation kernel. The boundary discipline is: transports never touch
@@ -35,12 +43,26 @@ type Addr string
 // counters, attributed to the sending peer's address).
 type PeerStats struct {
 	Sent      uint64 // frames accepted for send
-	SentBytes uint64 // encoded bytes accepted for send
+	SentBytes uint64 // encoded bytes written to the wire (batch container included)
+	Batches   uint64 // wire writes (datagrams / stream records) carrying those bytes
 	Dropped   uint64 // frames dropped by send-queue backpressure (oldest first)
 	Recv      uint64 // frames received and decoded
 	RecvBytes uint64 // encoded bytes received
-	Malformed uint64 // datagrams rejected by the envelope decoder
-	SendErrs  uint64 // socket write failures
+	Malformed uint64 // datagrams or stream records rejected by the decoder
+	SendErrs  uint64 // socket write or connect failures
+}
+
+// FramesPerBatch reports the average frames carried per wire write —
+// the coalescing payoff — or 0 before any batch has been written.
+func (s PeerStats) FramesPerBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	written := s.Sent
+	if s.Dropped < written {
+		written -= s.Dropped
+	}
+	return float64(written) / float64(s.Batches)
 }
 
 // Transport is one process's frame endpoint.
@@ -48,15 +70,21 @@ type PeerStats struct {
 // Listen binds the local endpoint and starts reception; it must be called
 // before Send or Recv. Dial prepares a send path to a peer and is
 // idempotent. Send queues one frame to a dialed peer and never blocks on
-// the network (backpressure drops the oldest queued frame instead). Recv
-// pops one received frame without blocking — the caller polls; this is
-// deliberate, because the simulation side consumes frames from a host
-// pump, not from a goroutine. Close releases the endpoint; Send and Recv
-// on a closed transport fail and report empty, respectively.
+// the network (backpressure drops the oldest queued data instead); the
+// wire transports coalesce queued frames into batches, so a frame may
+// wait up to the configured linger before it is written. Flush seals
+// every peer's pending batch immediately — the bridge calls it at each
+// pump quantum boundary so bridged virtual time never stalls on the
+// linger timer. Recv pops one received frame without blocking — the
+// caller polls; this is deliberate, because the simulation side consumes
+// frames from a host pump, not from a goroutine. Close releases the
+// endpoint; Send and Recv on a closed transport fail and report empty,
+// respectively.
 type Transport interface {
 	Listen() error
 	Dial(addr Addr) error
 	Send(addr Addr, f wire.Frame) error
+	Flush()
 	Recv() (from Addr, f wire.Frame, ok bool)
 	LocalAddr() Addr
 	Stats() map[Addr]PeerStats
@@ -75,8 +103,9 @@ type inFrame struct {
 }
 
 // Open constructs a transport from a scheme-prefixed address: "loop:name"
-// for the in-memory loopback, "udp:host:port" for real sockets. The
-// endpoint is not live until Listen.
+// for the in-memory loopback, "udp:host:port" for datagram sockets,
+// "tcp:host:port" for the lossless stream transport. The endpoint is not
+// live until Listen.
 func Open(addr Addr) (Transport, error) {
 	s := string(addr)
 	switch {
@@ -84,7 +113,9 @@ func Open(addr Addr) (Transport, error) {
 		return NewLoopback(addr), nil
 	case strings.HasPrefix(s, "udp:"):
 		return NewUDP(addr), nil
+	case strings.HasPrefix(s, "tcp:"):
+		return NewTCP(addr), nil
 	default:
-		return nil, fmt.Errorf("transport: unknown scheme in %q (want loop: or udp:)", s)
+		return nil, fmt.Errorf("transport: unknown scheme in %q (want loop:, udp:, or tcp:)", s)
 	}
 }

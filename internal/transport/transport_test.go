@@ -24,14 +24,67 @@ func testFrame(seq int) wire.Frame {
 func seqOf(f wire.Frame) int { return int(f.Payload[0])<<8 | int(f.Payload[1]) }
 
 func TestOpenSchemes(t *testing.T) {
-	if _, err := Open("loop:x"); err != nil {
-		t.Fatalf("loop scheme: %v", err)
+	for _, addr := range []Addr{"loop:x", "udp:127.0.0.1:0", "tcp:127.0.0.1:0"} {
+		tr, err := Open(addr)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", addr, err)
+		}
+		if tr == nil {
+			t.Fatalf("Open(%q) returned a nil transport", addr)
+		}
 	}
-	if _, err := Open("udp:127.0.0.1:0"); err != nil {
-		t.Fatalf("udp scheme: %v", err)
+	for _, addr := range []Addr{"sctp:127.0.0.1:0", "127.0.0.1:0", "", "loopx"} {
+		if _, err := Open(addr); err == nil {
+			t.Fatalf("Open(%q) must fail: unknown scheme", addr)
+		}
 	}
-	if _, err := Open("tcp:127.0.0.1:0"); err == nil {
-		t.Fatal("unknown scheme must fail Open")
+}
+
+func TestOpenMalformedAddr(t *testing.T) {
+	// The scheme parses, so Open succeeds; the bogus host:port must
+	// surface at Listen instead of being deferred to the first Send.
+	for _, addr := range []Addr{"udp:not-a-host-port", "tcp:no-port-here"} {
+		tr, err := Open(addr)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", addr, err)
+		}
+		if err := tr.Listen(); err == nil {
+			tr.Close()
+			t.Fatalf("Listen on %q must fail: malformed address", addr)
+		}
+	}
+	// Dialing a peer whose address is malformed fails fast too.
+	for _, scheme := range []string{"udp", "tcp"} {
+		tr, err := Open(Addr(scheme + ":127.0.0.1:0"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Listen(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Dial(Addr(scheme + ":bogus")); err == nil {
+			t.Fatalf("%s Dial of malformed peer must fail", scheme)
+		}
+		if err := tr.Dial("loop:name"); err == nil {
+			t.Fatalf("%s Dial of wrong-scheme peer must fail", scheme)
+		}
+		tr.Close()
+	}
+}
+
+func TestDoubleListen(t *testing.T) {
+	for _, addr := range []Addr{"udp:127.0.0.1:0", "tcp:127.0.0.1:0"} {
+		tr, err := Open(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Listen(); err != nil {
+			t.Fatalf("first Listen on %q: %v", addr, err)
+		}
+		if err := tr.Listen(); err == nil {
+			t.Fatalf("second Listen on %q must fail", addr)
+		}
+		tr.Close()
 	}
 }
 
@@ -246,6 +299,264 @@ func TestUDPMalformedDatagram(t *testing.T) {
 	}
 	if _, _, ok := u.Recv(); ok {
 		t.Fatal("malformed datagram must not reach the inbox")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, b := NewTCP("tcp:127.0.0.1:0"), NewTCP("tcp:127.0.0.1:0")
+	if err := a.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	addrA, addrB := a.LocalAddr(), b.LocalAddr()
+	if addrA == "tcp:127.0.0.1:0" || addrB == "tcp:127.0.0.1:0" {
+		t.Fatalf("LocalAddr did not resolve the kernel port: %q %q", addrA, addrB)
+	}
+	if err := a.Dial(addrB); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Dial(addrA); err != nil {
+		t.Fatal(err)
+	}
+
+	const frames = 20
+	for i := 0; i < frames; i++ {
+		if err := a.Send(addrB, testFrame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Flush()
+	// TCP preserves order, and the hello record attributes the stream to
+	// the dialer's listen address, not its ephemeral source port.
+	for i := 0; i < frames; i++ {
+		from, f := recvDeadline(t, b, 5*time.Second)
+		if from != addrA {
+			t.Fatalf("frame attributed to %q, want %q", from, addrA)
+		}
+		if seqOf(f) != i {
+			t.Fatalf("stream order broken: got seq %d at slot %d", seqOf(f), i)
+		}
+	}
+
+	// The reverse direction uses b's own outbound connection.
+	if err := b.Send(addrA, testFrame(7)); err != nil {
+		t.Fatal(err)
+	}
+	b.Flush()
+	if _, f := recvDeadline(t, a, 5*time.Second); seqOf(f) != 7 {
+		t.Fatalf("reverse frame seq = %d, want 7", seqOf(f))
+	}
+
+	if st := a.Stats()[addrB]; st.Sent != frames || st.SentBytes == 0 || st.Batches == 0 {
+		t.Fatalf("sender stats = %+v, want Sent=%d with batches counted", st, frames)
+	}
+	if st := b.Stats()[addrA]; st.Recv != frames {
+		t.Fatalf("receiver stats = %+v, want Recv=%d", st, frames)
+	}
+	if err := a.Send("tcp:127.0.0.1:1", testFrame(0)); err == nil {
+		t.Fatal("send to undialed peer must fail")
+	}
+}
+
+func TestTCPReconnect(t *testing.T) {
+	a, b := NewTCP("tcp:127.0.0.1:0"), NewTCP("tcp:127.0.0.1:0")
+	if err := a.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := b.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	addrB := b.LocalAddr()
+	if err := a.Dial(addrB); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(addrB, testFrame(1)); err != nil {
+		t.Fatal(err)
+	}
+	a.Flush()
+	if _, f := recvDeadline(t, b, 5*time.Second); seqOf(f) != 1 {
+		t.Fatalf("pre-restart frame seq = %d, want 1", seqOf(f))
+	}
+
+	// Restart the receiver on the same port. The sender's connection is
+	// now dead; writes fail once the RST lands and the sender redials.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2 := NewTCP(addrB)
+	if err := b2.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := a.Send(addrB, testFrame(2)); err != nil {
+			t.Fatal(err)
+		}
+		a.Flush()
+		time.Sleep(10 * time.Millisecond)
+		if _, f, ok := b2.Recv(); ok {
+			if seqOf(f) != 2 {
+				t.Fatalf("post-restart frame seq = %d, want 2", seqOf(f))
+			}
+			return
+		}
+	}
+	t.Fatalf("no frame after receiver restart; sender stats = %+v", a.Stats()[addrB])
+}
+
+func TestTCPMalformedRecord(t *testing.T) {
+	tr := NewTCP("tcp:127.0.0.1:0")
+	if err := tr.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	hp := string(tr.LocalAddr())[len("tcp:"):]
+	raw, err := net.Dial("tcp", hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// A well-framed record whose body decodes as neither hello, batch,
+	// nor bare frame: counted malformed, and the stream is dropped.
+	if _, err := raw.Write([]byte{0, 0, 0, 4, 'j', 'u', 'n', 'k'}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var malformed uint64
+		for _, st := range tr.Stats() {
+			malformed += st.Malformed
+		}
+		if malformed == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("malformed record not counted; stats = %+v", tr.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, _, ok := tr.Recv(); ok {
+		t.Fatal("malformed record must not reach the inbox")
+	}
+	// The connection was dropped: the next write eventually errors.
+	raw.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	var werr error
+	for i := 0; i < 5000 && werr == nil; i++ {
+		_, werr = raw.Write([]byte{0, 0, 0, 1, 'x'})
+	}
+	if werr == nil {
+		t.Fatal("writes kept succeeding after a corrupt record; want dropped connection")
+	}
+}
+
+// batchTransport is the sender-configurable subset shared by UDP and TCP.
+type batchTransport interface {
+	Transport
+	setBatch(Batching)
+}
+
+type udpWrap struct{ *UDP }
+
+func (w udpWrap) setBatch(b Batching) { w.UDP.Batch = b }
+
+type tcpWrap struct{ *TCP }
+
+func (w tcpWrap) setBatch(b Batching) { w.TCP.Batch = b }
+
+func TestBatchingCoalesces(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() batchTransport
+	}{
+		{"udp", func() batchTransport { return udpWrap{NewUDP("udp:127.0.0.1:0")} }},
+		{"tcp", func() batchTransport { return tcpWrap{NewTCP("tcp:127.0.0.1:0")} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := tc.mk(), tc.mk()
+			// A linger far past the test's deadline: only the count
+			// threshold and explicit Flush may seal batches here.
+			a.setBatch(Batching{MaxFrames: 8, Linger: time.Hour})
+			if err := a.Listen(); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Listen(); err != nil {
+				t.Fatal(err)
+			}
+			defer a.Close()
+			defer b.Close()
+			addrB := b.LocalAddr()
+			if err := a.Dial(addrB); err != nil {
+				t.Fatal(err)
+			}
+
+			// Exactly MaxFrames frames seal one batch with no flush.
+			for i := 0; i < 8; i++ {
+				if err := a.Send(addrB, testFrame(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 8; i++ {
+				recvDeadline(t, b, 5*time.Second)
+			}
+			if st := a.Stats()[addrB]; st.Batches != 1 {
+				t.Fatalf("%s stats after count-threshold seal = %+v, want Batches=1", tc.name, st)
+			}
+
+			// A partial batch stays pending (linger is an hour) until
+			// Flush seals it.
+			for i := 0; i < 3; i++ {
+				if err := a.Send(addrB, testFrame(100+i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+			if _, _, ok := b.Recv(); ok {
+				t.Fatalf("%s: partial batch delivered before Flush", tc.name)
+			}
+			a.Flush()
+			for i := 0; i < 3; i++ {
+				recvDeadline(t, b, 5*time.Second)
+			}
+			st := a.Stats()[addrB]
+			if st.Batches != 2 {
+				t.Fatalf("%s stats after Flush = %+v, want Batches=2", tc.name, st)
+			}
+			if got := st.FramesPerBatch(); got < 5 || got > 6 {
+				t.Fatalf("%s FramesPerBatch = %v, want 11/2", tc.name, got)
+			}
+		})
+	}
+}
+
+func TestBatchingLinger(t *testing.T) {
+	a, b := NewUDP("udp:127.0.0.1:0"), NewUDP("udp:127.0.0.1:0")
+	a.Batch = Batching{Linger: 2 * time.Millisecond}
+	if err := a.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	addrB := b.LocalAddr()
+	if err := a.Dial(addrB); err != nil {
+		t.Fatal(err)
+	}
+	// One lone frame, no Flush: the linger timer must seal it.
+	if err := a.Send(addrB, testFrame(9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, f := recvDeadline(t, b, 5*time.Second); seqOf(f) != 9 {
+		t.Fatalf("lingered frame seq = %d, want 9", seqOf(f))
 	}
 }
 

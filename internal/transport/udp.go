@@ -12,27 +12,37 @@ import (
 
 // The UDP transport: one socket per endpoint, a reader goroutine that
 // decodes datagrams into the inbox, and one sender goroutine per dialed
-// peer draining a bounded queue. UDP is the right first wire for this
-// middleware because it has the same failure model the radio already has
-// — loss, reordering, duplication — and every protocol above (hop-by-hop
-// migration acks, remote-op retransmission, anti-entropy gossip) was
-// built to survive exactly that. One datagram carries one enveloped
-// frame; anything the envelope decoder rejects increments the sender's
+// peer draining a bounded queue of coalesced batches. UDP is the right
+// first wire for this middleware because it has the same failure model
+// the radio already has — loss, reordering, duplication — and every
+// protocol above (hop-by-hop migration acks, remote-op retransmission,
+// anti-entropy gossip) was built to survive exactly that.
+//
+// One datagram carries one wire.Batch of frames (MTU-bounded by the
+// coalescer), amortizing the envelope and the syscall across the batch;
+// bare single-frame envelopes from older senders are still accepted on
+// receive. Anything the decoders reject increments the sender's
 // malformed counter and is otherwise ignored.
 
-// udpQueueCap bounds each peer's send queue. When the queue is full the
-// oldest frame is dropped (drop-oldest): for this traffic, new frames
-// carry newer protocol state and retransmission regenerates old ones, so
-// head drop beats tail drop and either beats blocking the simulation.
+// udpQueueCap bounds each peer's queue of sealed batches. When the
+// queue is full the oldest batch is dropped (drop-oldest): for this
+// traffic, new frames carry newer protocol state and retransmission
+// regenerates old ones, so head drop beats tail drop and either beats
+// blocking the simulation.
 const udpQueueCap = 256
 
-// udpReadBuf is sized past any legal envelope (64 KiB payload bound).
+// udpReadBuf is sized past any legal batch the coalescer emits and past
+// any legal single-frame envelope (64 KiB payload bound).
 const udpReadBuf = 1 << 16 * 2
 
 // UDP is a socket-backed Transport. Construct with NewUDP (or Open with a
-// "udp:" address).
+// "udp:" address). Batching may be tuned before Listen; the zero value
+// means the package defaults.
 type UDP struct {
 	addr Addr // as configured, "udp:host:port"
+
+	// Batch tunes per-peer frame coalescing; set before Listen.
+	Batch Batching
 
 	mu     sync.Mutex
 	conn   *net.UDPConn
@@ -46,11 +56,11 @@ type UDP struct {
 	wg     sync.WaitGroup
 }
 
-// udpPeer is one dialed destination: its resolved address and the bounded
-// send queue its sender goroutine drains.
+// udpPeer is one dialed destination: its resolved address and the
+// coalescer its sender goroutine drains.
 type udpPeer struct {
 	raddr *net.UDPAddr
-	q     chan []byte
+	co    *coalescer
 }
 
 // NewUDP creates an endpoint bound to addr ("udp:host:port") at Listen.
@@ -82,6 +92,12 @@ func (u *UDP) Listen() error {
 	if err != nil {
 		return fmt.Errorf("transport: resolve %q: %v", u.addr, err)
 	}
+	u.mu.Lock()
+	if u.live {
+		u.mu.Unlock()
+		return fmt.Errorf("transport: %q is already listening", u.addr)
+	}
+	u.mu.Unlock()
 	conn, err := net.ListenUDP("udp", laddr)
 	if err != nil {
 		return fmt.Errorf("transport: listen %q: %v", u.addr, err)
@@ -105,33 +121,46 @@ func (u *UDP) Listen() error {
 func (u *UDP) readLoop(conn *net.UDPConn) {
 	defer u.wg.Done()
 	buf := make([]byte, udpReadBuf)
+	var scratch []wire.Frame
 	for {
 		n, raddr, err := conn.ReadFromUDP(buf)
 		if err != nil {
 			return // closed
 		}
 		from := u.attribute(raddr)
-		f, err := wire.DecodeFrame(buf[:n])
+		// One copy per datagram: the decoded payloads alias it, and the
+		// inbox outlives the read buffer.
+		data := append([]byte(nil), buf[:n]...)
+		var derr error
+		scratch = scratch[:0]
+		if wire.IsBatch(data) {
+			scratch, derr = wire.DecodeBatchAppend(scratch, data)
+		} else {
+			var f wire.Frame
+			if f, derr = wire.DecodeFrame(data); derr == nil {
+				scratch = append(scratch, f)
+			}
+		}
 		u.mu.Lock()
 		if !u.live {
 			u.mu.Unlock()
 			return
 		}
 		st := u.peerStats(from)
-		if err != nil {
+		if derr != nil {
 			st.Malformed++
 			u.mu.Unlock()
 			continue
 		}
-		st.Recv++
+		st.Recv += uint64(len(scratch))
 		st.RecvBytes += uint64(n)
-		// The decode aliases the read buffer; the inbox outlives it.
-		f.Payload = append([]byte(nil), f.Payload...)
-		if len(u.inbox) >= inboxCap {
-			u.inbox = u.inbox[1:]
-			u.lost++
+		for _, f := range scratch {
+			if len(u.inbox) >= inboxCap {
+				u.inbox = u.inbox[1:]
+				u.lost++
+			}
+			u.inbox = append(u.inbox, inFrame{from: from, f: f})
 		}
-		u.inbox = append(u.inbox, inFrame{from: from, f: f})
 		u.mu.Unlock()
 	}
 }
@@ -148,7 +177,8 @@ func (u *UDP) attribute(raddr *net.UDPAddr) Addr {
 	return Addr("udp:" + s)
 }
 
-// Dial resolves the peer and starts its sender goroutine. Idempotent.
+// Dial resolves the peer, builds its coalescer, and starts its sender
+// goroutine. Idempotent.
 func (u *UDP) Dial(addr Addr) error {
 	hp, err := hostPort(addr)
 	if err != nil {
@@ -166,43 +196,57 @@ func (u *UDP) Dial(addr Addr) error {
 	if _, ok := u.peers[addr]; ok {
 		return nil
 	}
-	p := &udpPeer{raddr: raddr, q: make(chan []byte, udpQueueCap)}
+	st := u.peerStats(addr)
+	p := &udpPeer{
+		raddr: raddr,
+		co: newCoalescer(u.Batch, udpQueueCap, func(frames int) {
+			// Runs under the coalescer's lock; u.mu nests inside (see
+			// coalescer lock-order note).
+			u.mu.Lock()
+			st.Dropped += uint64(frames)
+			u.mu.Unlock()
+		}),
+	}
 	u.peers[addr] = p
 	u.byWire[raddr.String()] = addr
 	conn := u.conn
-	st := u.peerStats(addr)
 	u.wg.Add(1)
 	go u.sendLoop(conn, p, st, u.done)
 	return nil
 }
 
-// sendLoop drains one peer's queue onto the socket until Close.
+// sendLoop writes one peer's sealed batches onto the socket until Close.
 func (u *UDP) sendLoop(conn *net.UDPConn, p *udpPeer, st *PeerStats, done chan struct{}) {
 	defer u.wg.Done()
 	for {
 		select {
 		case <-done:
 			return
-		case b := <-p.q:
-			if _, err := conn.WriteToUDP(b, p.raddr); err != nil {
-				u.mu.Lock()
+		case ob := <-p.co.out:
+			_, err := conn.WriteToUDP(ob.bytes, p.raddr)
+			u.mu.Lock()
+			if err != nil {
 				st.SendErrs++
-				closed := !u.live
-				u.mu.Unlock()
-				if closed || errors.Is(err, net.ErrClosed) {
-					return
-				}
+			} else {
+				st.Batches++
+				st.SentBytes += uint64(len(ob.bytes))
+			}
+			closed := !u.live
+			u.mu.Unlock()
+			wire.PutBatchWriter(ob.w)
+			if err != nil && (closed || errors.Is(err, net.ErrClosed)) {
+				return
 			}
 		}
 	}
 }
 
-// Send encodes f and queues it to a dialed peer without blocking: a full
-// queue drops its oldest frame to admit the new one.
+// Send queues one frame toward a dialed peer without blocking: the frame
+// joins the peer's pending batch, and a full batch queue drops its
+// oldest batch to admit the new one.
 func (u *UDP) Send(addr Addr, f wire.Frame) error {
-	b, err := wire.EncodeFrame(f)
-	if err != nil {
-		return err
+	if len(f.Payload) > wire.MaxFramePayload {
+		return fmt.Errorf("%w: frame payload %d bytes (max %d)", wire.ErrBadMessage, len(f.Payload), wire.MaxFramePayload)
 	}
 	u.mu.Lock()
 	if !u.live {
@@ -217,24 +261,23 @@ func (u *UDP) Send(addr Addr, f wire.Frame) error {
 		return fmt.Errorf("transport: peer %q not dialed", addr)
 	}
 	st.Sent++
-	st.SentBytes += uint64(len(b))
-	done := u.done
 	u.mu.Unlock()
-	for {
-		select {
-		case <-done:
-			return fmt.Errorf("transport: %q is closed", u.addr)
-		case p.q <- b:
-			return nil
-		default:
-		}
-		select {
-		case <-p.q: // drop-oldest; admit the new frame on the next spin
-			u.mu.Lock()
-			st.Dropped++
-			u.mu.Unlock()
-		default:
-		}
+	p.co.add(f) // encodes the payload under the coalescer lock; f is not retained
+	return nil
+}
+
+// Flush seals every peer's pending batch so nothing waits out the
+// linger timer. The sealed batches are written asynchronously by the
+// sender goroutines.
+func (u *UDP) Flush() {
+	u.mu.Lock()
+	peers := make([]*udpPeer, 0, len(u.peers))
+	for _, p := range u.peers {
+		peers = append(peers, p)
+	}
+	u.mu.Unlock()
+	for _, p := range peers {
+		p.co.flush()
 	}
 }
 
@@ -283,9 +326,13 @@ func (u *UDP) Close() error {
 	u.live = false
 	conn := u.conn
 	done := u.done
+	peers := u.peers
 	u.peers = make(map[Addr]*udpPeer)
 	u.inbox = nil
 	u.mu.Unlock()
+	for _, p := range peers {
+		p.co.close()
+	}
 	var err error
 	if conn != nil {
 		err = conn.Close()

@@ -1,0 +1,204 @@
+// Command benchdiff compares two BENCH_*.json snapshots (the flat row
+// arrays agilla-bench -json writes for the scale, churn, vm, and wire
+// experiments) benchstat-style, and exits non-zero on a regression.
+//
+// Usage:
+//
+//	benchdiff [-tol 0.25] [-ignore col1,col2] OLD.json NEW.json
+//
+// Rows are matched across the two files by their identity columns —
+// every string and bool field, plus the integer configuration fields
+// (workers, nodes) — so reordering rows between runs is fine, while a
+// row present in only one file is an error (a transport or scenario
+// appeared or vanished).
+//
+// Within a matched pair, numeric columns split two ways:
+//
+//   - Measured columns — wall-clock rates and anything downstream of
+//     them (names containing "per_", ending in "_secs", or in
+//     {received, batches}) — legitimately vary run to run. They are
+//     compared within the -tol relative band: |new-old|/old beyond the
+//     band fails, inside it is reported but fine. A tolerance of 0.25
+//     means ±25%.
+//
+//   - Everything else is treated as deterministic (frames, bytes,
+//     events, hashes, counters the simulation fixes by construction)
+//     and must match exactly.
+//
+// -ignore names columns to skip entirely, for comparisons where a
+// column is expected to differ (for example comparing sweeps taken at
+// different -workers counts).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	tol := fs.Float64("tol", 0.25, "relative tolerance band for measured columns (0.25 = ±25%)")
+	ignore := fs.String("ignore", "", "comma-separated columns to skip entirely")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(errOut, "usage: benchdiff [-tol T] [-ignore cols] OLD.json NEW.json")
+		return 2
+	}
+	oldRows, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(errOut, "benchdiff: %v\n", err)
+		return 2
+	}
+	newRows, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(errOut, "benchdiff: %v\n", err)
+		return 2
+	}
+	skip := map[string]bool{}
+	for _, c := range strings.Split(*ignore, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			skip[c] = true
+		}
+	}
+	report, failures := diff(oldRows, newRows, *tol, skip)
+	fmt.Fprint(out, report)
+	if failures > 0 {
+		fmt.Fprintf(errOut, "benchdiff: %d failure(s) comparing %s to %s\n", failures, fs.Arg(0), fs.Arg(1))
+		return 1
+	}
+	return 0
+}
+
+// row is one flat benchmark record.
+type row map[string]any
+
+// load reads one snapshot's row array.
+func load(path string) ([]row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%s: no rows", path)
+	}
+	return rows, nil
+}
+
+// identityInts are the numeric fields that configure a row rather than
+// measure it, so they join the match key.
+var identityInts = map[string]bool{"workers": true, "nodes": true}
+
+// key renders a row's identity columns as a stable string.
+func key(r row) string {
+	parts := make([]string, 0, len(r))
+	for k, v := range r {
+		switch v := v.(type) {
+		case string:
+			parts = append(parts, fmt.Sprintf("%s=%s", k, v))
+		case bool:
+			parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+		case float64:
+			if identityInts[k] {
+				parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+			}
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+// measured reports whether a column is a wall-clock measurement (or
+// downstream of one) and so gets the tolerance band instead of an exact
+// match.
+func measured(name string) bool {
+	return strings.Contains(name, "per_") ||
+		strings.HasSuffix(name, "_secs") ||
+		name == "received" || name == "batches"
+}
+
+// diff compares the two row sets and renders a benchstat-style report,
+// returning it with the failure count.
+func diff(oldRows, newRows []row, tol float64, skip map[string]bool) (string, int) {
+	var b strings.Builder
+	failures := 0
+	newByKey := make(map[string]row, len(newRows))
+	for _, r := range newRows {
+		newByKey[key(r)] = r
+	}
+	seen := make(map[string]bool, len(oldRows))
+	for _, or := range oldRows {
+		k := key(or)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		nr, ok := newByKey[k]
+		if !ok {
+			fmt.Fprintf(&b, "%s\n  FAIL row missing from new snapshot\n", k)
+			failures++
+			continue
+		}
+		fmt.Fprintf(&b, "%s\n", k)
+		cols := make([]string, 0, len(or))
+		for c := range or {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		for _, c := range cols {
+			ov, isNum := or[c].(float64)
+			if !isNum || identityInts[c] || skip[c] {
+				continue
+			}
+			nv, ok := nr[c].(float64)
+			if !ok {
+				fmt.Fprintf(&b, "  %-18s FAIL column missing from new snapshot\n", c)
+				failures++
+				continue
+			}
+			switch {
+			case !measured(c):
+				if ov != nv {
+					fmt.Fprintf(&b, "  %-18s %14.6g %14.6g  FAIL deterministic column changed\n", c, ov, nv)
+					failures++
+				}
+			case ov == 0:
+				if nv != 0 {
+					fmt.Fprintf(&b, "  %-18s %14.6g %14.6g  FAIL old is zero, new is not\n", c, ov, nv)
+					failures++
+				}
+			default:
+				delta := (nv - ov) / ov
+				verdict := ""
+				if math.Abs(delta) > tol {
+					verdict = fmt.Sprintf("  FAIL outside ±%.0f%% band", tol*100)
+					failures++
+				}
+				fmt.Fprintf(&b, "  %-18s %14.6g %14.6g  %+7.2f%%%s\n", c, ov, nv, delta*100, verdict)
+			}
+		}
+	}
+	for _, nr := range newRows {
+		if k := key(nr); !seen[k] {
+			fmt.Fprintf(&b, "%s\n  FAIL row missing from old snapshot\n", k)
+			failures++
+		}
+	}
+	return b.String(), failures
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write drops a snapshot file into the test's temp dir.
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseRows = `[
+  {"transport": "loopback", "frames": 50000, "bytes": 1935703, "received": 50000,
+   "batches": 50000, "frames_per_batch": 1, "wall_secs": 0.03, "frames_per_sec": 1600000},
+  {"transport": "udp", "frames": 50000, "bytes": 1935703, "received": 49000,
+   "batches": 1172, "frames_per_batch": 42.7, "wall_secs": 0.025, "frames_per_sec": 2000000}
+]`
+
+func runDiff(t *testing.T, args ...string) (code int, out, errOut string) {
+	t.Helper()
+	var o, e strings.Builder
+	code = run(args, &o, &e)
+	return code, o.String(), e.String()
+}
+
+func TestIdenticalSnapshotsPass(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", baseRows)
+	b := write(t, dir, "b.json", baseRows)
+	code, out, errOut := runDiff(t, a, b)
+	if code != 0 {
+		t.Fatalf("identical snapshots exit %d\n%s%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "transport=udp") {
+		t.Fatalf("report does not name the udp row:\n%s", out)
+	}
+}
+
+func TestMeasuredDriftInsideBandPasses(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", baseRows)
+	// 10% faster and slightly different batch count: inside ±25%.
+	b := write(t, dir, "b.json", strings.NewReplacer(
+		`"frames_per_sec": 2000000`, `"frames_per_sec": 2200000`,
+		`"batches": 1172`, `"batches": 1180`,
+	).Replace(baseRows))
+	code, out, errOut := runDiff(t, a, b)
+	if code != 0 {
+		t.Fatalf("10%% drift must pass the default band, exit %d\n%s%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "+10.00%") {
+		t.Fatalf("report does not show the drift:\n%s", out)
+	}
+}
+
+func TestMeasuredDriftOutsideBandFails(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", baseRows)
+	b := write(t, dir, "b.json", strings.Replace(baseRows,
+		`"frames_per_sec": 2000000`, `"frames_per_sec": 900000`, 1))
+	code, out, _ := runDiff(t, a, b)
+	if code != 1 {
+		t.Fatalf("55%% regression must fail, exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL outside") {
+		t.Fatalf("report does not flag the band violation:\n%s", out)
+	}
+	// A wider band admits it.
+	code, out, errOut := runDiff(t, "-tol", "0.6", a, b)
+	if code != 0 {
+		t.Fatalf("-tol 0.6 must admit a 55%% drift, exit %d\n%s%s", code, out, errOut)
+	}
+}
+
+func TestDeterministicColumnMustMatchExactly(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", baseRows)
+	b := write(t, dir, "b.json", strings.Replace(baseRows,
+		`"frames": 50000, "bytes": 1935703, "received": 49000`,
+		`"frames": 50001, "bytes": 1935703, "received": 49000`, 1))
+	code, out, _ := runDiff(t, a, b)
+	if code != 1 {
+		t.Fatalf("a one-frame workload change must fail, exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "deterministic column changed") {
+		t.Fatalf("report does not flag the deterministic change:\n%s", out)
+	}
+	// ...unless the column is ignored explicitly.
+	code, _, _ = runDiff(t, "-ignore", "frames", a, b)
+	if code != 0 {
+		t.Fatalf("-ignore frames must admit the change, exit %d", code)
+	}
+}
+
+func TestRowSetMismatchFails(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", baseRows)
+	// Drop the udp row entirely.
+	b := write(t, dir, "b.json", `[
+  {"transport": "loopback", "frames": 50000, "bytes": 1935703, "received": 50000,
+   "batches": 50000, "frames_per_batch": 1, "wall_secs": 0.03, "frames_per_sec": 1600000}
+]`)
+	code, out, _ := runDiff(t, a, b)
+	if code != 1 {
+		t.Fatalf("a vanished row must fail, exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "row missing from new snapshot") {
+		t.Fatalf("report does not flag the missing row:\n%s", out)
+	}
+	// And the reverse direction: a row only in the new snapshot.
+	code, out, _ = runDiff(t, b, a)
+	if code != 1 || !strings.Contains(out, "row missing from old snapshot") {
+		t.Fatalf("an appeared row must fail, exit %d\n%s", code, out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runDiff(t); code != 2 {
+		t.Fatal("no arguments must exit 2")
+	}
+	if code, _, _ := runDiff(t, "nope-a.json", "nope-b.json"); code != 2 {
+		t.Fatal("unreadable files must exit 2")
+	}
+	dir := t.TempDir()
+	empty := write(t, dir, "empty.json", `[]`)
+	if code, _, _ := runDiff(t, empty, empty); code != 2 {
+		t.Fatal("empty snapshots must exit 2")
+	}
+}
